@@ -1,0 +1,125 @@
+// Command apps regenerates the application-trace experiments: Figure 10
+// (communication latency of 13 benchmarks under every scheme) and the
+// §V-B IPC study (closed-loop CMP with 4 MSHRs per core). It can also
+// synthesise and save traces for external use.
+//
+// Examples:
+//
+//	apps -fig10                 # both Figure 10 groups
+//	apps -ipc                   # GHS+SB vs Token Channel and DHS+SB vs Token Slot
+//	apps -gen nas-cg -o cg.phtr # write a binary trace
+//	apps -dump cg.phtr          # print a trace's header and rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photon/internal/core"
+	"photon/internal/exp"
+	"photon/internal/trace"
+)
+
+func main() {
+	var (
+		fig10   = flag.Bool("fig10", false, "regenerate Figure 10 (application latency)")
+		ipc     = flag.Bool("ipc", false, "run the closed-loop IPC study")
+		gen     = flag.String("gen", "", "synthesise a trace for the named app")
+		out     = flag.String("o", "trace.phtr", "output path for -gen")
+		dump    = flag.String("dump", "", "print the header of a binary trace file")
+		analyze = flag.Bool("analyze", false, "print workload-character analysis for all 13 benchmark traces")
+		cycles  = flag.Int64("cycles", 30_000, "trace span in cycles for -gen")
+		quick   = flag.Bool("quick", false, "shorter runs")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	switch {
+	case *analyze:
+		cfg := core.DefaultConfig(core.DHSSetaside)
+		var analyses []trace.Analysis
+		for _, app := range trace.Apps() {
+			tr := app.Synthesize(cfg.Cores(), cfg.Nodes, *cycles, *seed)
+			analyses = append(analyses, trace.Analyze(tr))
+		}
+		must(trace.AnalysisTable(analyses).WriteText(os.Stdout))
+	case *fig10:
+		global, distributed, ta, tb, err := exp.Fig10(opts)
+		if err != nil {
+			fatal(err)
+		}
+		must(ta.WriteText(os.Stdout))
+		fmt.Println()
+		must(tb.WriteText(os.Stdout))
+		fmt.Println()
+		avg, max := exp.LatencyReduction(global, core.TokenChannel, core.GHSSetaside)
+		fmt.Printf("GHS w/ Setaside vs Token Channel: avg latency reduction %.0f%%, max %.0f%%\n", avg, max)
+		avg, max = exp.LatencyReduction(global, core.TokenChannel, core.GHS)
+		fmt.Printf("GHS (basic)     vs Token Channel: avg latency reduction %.0f%%, max %.0f%%\n", avg, max)
+		avg, max = exp.LatencyReduction(distributed, core.TokenSlot, core.DHSSetaside)
+		fmt.Printf("DHS w/ Setaside vs Token Slot:    avg latency reduction %.0f%%, max %.0f%%\n", avg, max)
+		avg, max = exp.LatencyReduction(distributed, core.TokenSlot, core.DHSCirculation)
+		fmt.Printf("DHS w/ Circul.  vs Token Slot:    avg latency reduction %.0f%%, max %.0f%%\n", avg, max)
+	case *ipc:
+		rows, t, err := exp.IPCStudy(core.TokenChannel, core.GHSSetaside, opts)
+		if err != nil {
+			fatal(err)
+		}
+		must(t.WriteText(os.Stdout))
+		fmt.Printf("mean IPC gain: %+.1f%%\n\n", exp.MeanIPCGain(rows))
+		rows, t, err = exp.IPCStudy(core.TokenSlot, core.DHSSetaside, opts)
+		if err != nil {
+			fatal(err)
+		}
+		must(t.WriteText(os.Stdout))
+		fmt.Printf("mean IPC gain: %+.1f%%\n", exp.MeanIPCGain(rows))
+	case *gen != "":
+		app, err := trace.AppByName(*gen)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultConfig(core.DHSSetaside)
+		tr := app.Synthesize(cfg.Cores(), cfg.Nodes, *cycles, *seed)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		must(tr.WriteBinary(f))
+		fmt.Printf("wrote %s: %d records over %d cycles (%.5f pkt/cycle/core)\n",
+			*out, len(tr.Records), tr.Cycles, tr.Rate())
+	case *dump != "":
+		f, err := os.Open(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadBinary(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("app=%s cores=%d nodes=%d cycles=%d records=%d rate=%.5f\n",
+			tr.App, tr.Cores, tr.Nodes, tr.Cycles, len(tr.Records), tr.Rate())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apps:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command photosim runs a single nanophotonic-NoC simulation with full
+// control over every knob and prints the measured result.
+//
+// Examples:
+//
+//	photosim -scheme dhs-setaside -pattern UR -rate 0.11
+//	photosim -scheme token-channel -pattern BC -rate 0.08 -credits 16 -v
+//	photosim -scheme ghs -nodes 128 -roundtrip 16 -rate 0.05
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"photon"
+	"photon/internal/core"
+)
+
+// writeHistCSV dumps the measured latency distribution as quantile rows.
+func writeHistCSV(w io.Writer, st *core.Stats) {
+	fmt.Fprintln(w, "quantile,latency_cycles")
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0} {
+		fmt.Fprintf(w, "%.3f,%d\n", q, st.Latency.Quantile(q))
+	}
+}
+
+func main() {
+	var (
+		preset     = flag.String("preset", "", "start from a named configuration: paper, corona, bigring, smallcmp (flags below override)")
+		schemeName = flag.String("scheme", "dhs-setaside", "scheme: token-channel, token-slot, ghs, ghs-setaside, dhs, dhs-setaside, dhs-circulation")
+		patName    = flag.String("pattern", "UR", "traffic pattern: UR, BC, TOR, TP, NBR")
+		rate       = flag.Float64("rate", 0.05, "injection rate in packets/cycle/core")
+		nodes      = flag.Int("nodes", 64, "ring nodes")
+		cores      = flag.Int("cores", 4, "cores per node")
+		roundtrip  = flag.Int("roundtrip", 8, "ring round-trip time in cycles")
+		credits    = flag.Int("credits", 8, "home buffer depth (credits)")
+		setaside   = flag.Int("setaside", 4, "setaside slots per queue")
+		warmup     = flag.Int64("warmup", 10_000, "warmup cycles")
+		measure    = flag.Int64("measure", 20_000, "measurement cycles")
+		drain      = flag.Int64("drain", 10_000, "drain cycles")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		ejectStall = flag.Float64("ejectstall", 0, "per-cycle ejection stall probability (receiver contention)")
+		noFair     = flag.Bool("nofair", false, "disable the fairness quota policy")
+		verbose    = flag.Bool("v", false, "print per-channel diagnostics")
+		asJSON     = flag.Bool("json", false, "emit the result as JSON")
+		histOut    = flag.String("hist", "", "write the measured latency distribution as CSV to this file")
+	)
+	flag.Parse()
+
+	scheme, err := photon.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	pat, err := photon.PatternByName(*patName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := photon.DefaultConfig(scheme)
+	if *preset != "" {
+		p, ok := core.PresetByName(*preset)
+		if !ok {
+			fatal(fmt.Errorf("unknown preset %q (paper, corona, bigring, smallcmp)", *preset))
+		}
+		cfg = p.Config
+	}
+	// Explicitly passed flags override the preset; defaults do not.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	apply := func(name string, set func()) {
+		if *preset == "" || explicit[name] {
+			set()
+		}
+	}
+	apply("scheme", func() { cfg.Scheme = scheme })
+	apply("nodes", func() { cfg.Nodes = *nodes })
+	apply("cores", func() { cfg.CoresPerNode = *cores })
+	apply("roundtrip", func() { cfg.RoundTrip = *roundtrip })
+	apply("credits", func() { cfg.BufferDepth = *credits })
+	apply("setaside", func() { cfg.SetasideSize = *setaside })
+	cfg.Seed = *seed
+	cfg.EjectStallProb = *ejectStall
+	cfg.Fairness.Enabled = !*noFair
+
+	window := photon.Window{Warmup: *warmup, Measure: *measure, Drain: *drain}
+	net, err := photon.NewNetwork(cfg, window)
+	if err != nil {
+		fatal(err)
+	}
+	inj, err := photon.NewInjector(pat, *rate, cfg.Nodes, cfg.CoresPerNode, *seed+0x9E37)
+	if err != nil {
+		fatal(err)
+	}
+	res := inj.Run(net)
+
+	if *histOut != "" {
+		f, ferr := os.Create(*histOut)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		writeHistCSV(f, net.Stats())
+		if ferr := f.Close(); ferr != nil {
+			fatal(ferr)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Scheme  string
+			Pattern string
+			Rate    float64
+			Result  photon.Result
+		}{cfg.Scheme.String(), pat.Name(), *rate, res}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("scheme            %s\n", cfg.Scheme.PaperName())
+	fmt.Printf("pattern           %s @ %.4f pkt/cycle/core\n", pat.Name(), *rate)
+	fmt.Printf("network           %d nodes x %d cores, R=%d cycles, %d credits\n",
+		cfg.Nodes, cfg.CoresPerNode, cfg.RoundTrip, cfg.BufferDepth)
+	fmt.Printf("avg latency       %.2f cycles\n", res.AvgLatency)
+	fmt.Printf("p95 / p99 / max   %d / %d / %d cycles\n", res.P95Latency, res.P99Latency, res.MaxLatency)
+	fmt.Printf("throughput        %.4f pkt/cycle/core (offered %.4f)\n", res.Throughput, res.OfferedLoad)
+	fmt.Printf("arbitration wait  %.2f cycles\n", res.AvgArbWait)
+	fmt.Printf("drop rate         %.5f per launch\n", res.DropRate)
+	fmt.Printf("retransmit rate   %.5f per launch\n", res.RetransmitRate)
+	fmt.Printf("circulation rate  %.5f per launch\n", res.CirculationRate)
+	fmt.Printf("fairness spread   %.2f (max/min per-source throughput)\n", res.FairnessSpread)
+	fmt.Printf("unfinished        %d measured packets\n", res.Unfinished)
+
+	if *verbose {
+		fmt.Println("\nper-channel diagnostics (first 8 channels):")
+		for i, d := range net.Diagnostics() {
+			if i >= 8 {
+				break
+			}
+			fmt.Printf("  home %2d: launches=%d reinj=%d peakFlight=%d peakBuf=%d captures=%d emitted=%d expired=%d acks=%d nacks=%d yields=%d\n",
+				d.Home, d.Launches, d.Reinjections, d.PeakInFlight, d.PeakInputBuf,
+				d.TokenCaptures, d.TokensEmitted, d.TokensExpired, d.AcksSent, d.NacksSent, d.FairYields)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "photosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command powersim regenerates the hardware-cost and power experiments:
+// Table I (optical component budgets) and Figure 12 (power breakdown and
+// energy per packet, from live simulations feeding the analytical model).
+//
+// Examples:
+//
+//	powersim -table 1
+//	powersim -fig 12a
+//	powersim -fig 12b -load 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photon/internal/exp"
+	"photon/internal/phys"
+)
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "table to regenerate (1)")
+		fig         = flag.String("fig", "", "figure to regenerate: 12a, 12b")
+		load        = flag.Float64("load", 0.11, "UR operating point in packets/cycle/core for figure 12")
+		wavelengths = flag.Bool("wavelengths", false, "print each scheme's DWDM wavelength allocation plan summary")
+		quick       = flag.Bool("quick", false, "shorter simulation windows")
+		seed        = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	switch {
+	case *wavelengths:
+		shape := phys.DefaultShape()
+		for _, hw := range phys.StandardSchemes() {
+			plan, err := phys.PlanWavelengths(shape, hw)
+			if err != nil {
+				fatal(err)
+			}
+			if err := plan.Validate(); err != nil {
+				fatal(err)
+			}
+			c := plan.CountByUse()
+			fmt.Printf("%-12s %4d waveguides  (data %d, token %d, handshake %d wavelengths)\n",
+				hw.Name, plan.Waveguides, c[phys.UseData], c[phys.UseToken], c[phys.UseHandshake])
+		}
+	case *table == 1:
+		_, t := exp.Table1()
+		must(t.WriteText(os.Stdout))
+	case *fig == "12a" || *fig == "12b" || *fig == "12":
+		_, ta, tb, err := exp.Fig12(*load, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *fig != "12b" {
+			must(ta.WriteText(os.Stdout))
+			fmt.Println()
+		}
+		if *fig != "12a" {
+			must(tb.WriteText(os.Stdout))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powersim:", err)
+	os.Exit(1)
+}

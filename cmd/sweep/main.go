@@ -1,0 +1,145 @@
+// Command sweep regenerates the paper's latency-vs-load figures and the
+// headline synthetic-workload claims.
+//
+// Examples:
+//
+//	sweep -fig 2b              # Fig 2(b): token slot by credit count
+//	sweep -fig 8 -pattern BC   # Fig 8: global group on Bit Complement
+//	sweep -fig 9 -pattern UR   # Fig 9: distributed group on Uniform Random
+//	sweep -fig 11              # Fig 11(a)-(e): credit sensitivity
+//	sweep -fig 11f             # Fig 11(f): setaside size study
+//	sweep -claims              # up-to-62% throughput / sub-1% drop claims
+//	sweep -fig 8 -quick -csv   # fast grid, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photon/internal/core"
+	"photon/internal/exp"
+	"photon/internal/stats"
+	"photon/internal/viz"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 2b, 8, 9, 11, 11f")
+		pattern = flag.String("pattern", "UR", "pattern for figures 8/9: UR, BC, TOR")
+		claims  = flag.Bool("claims", false, "measure the headline throughput/drop-rate claims on all three patterns")
+		fair    = flag.Bool("fairness", false, "run the §III-D fairness study (service share by ring position)")
+		brk     = flag.Float64("breakdown", 0, "decompose latency into queueing/arbitration/flight at this UR load")
+		quick   = flag.Bool("quick", false, "reduced load grid and shorter windows")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot    = flag.Bool("plot", false, "also render an ASCII chart (latency clipped at 100 cycles, like the paper's axes)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	emit := func(t *stats.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	emitPlot := func(title string, curves []exp.Curve) {
+		if !*plot {
+			return
+		}
+		chart := &viz.Chart{Title: title, XLabel: "packets/cycle/core", YLabel: "latency (cycles)", YCap: 100}
+		for _, c := range curves {
+			chart.Add(c.Label, c.Loads, c.Latency)
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *brk > 0:
+		_, t, err := exp.LatencyBreakdown(*brk, opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	case *fair:
+		for _, s := range []core.Scheme{core.GHSSetaside, core.DHSSetaside, core.DHSCirculation} {
+			_, t, err := exp.FairnessStudy(s, opts)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		}
+	case *claims:
+		for _, pat := range []string{"UR", "BC", "TOR"} {
+			c, err := exp.Claims(pat, opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: global group: Token Channel %.4f -> best GHS %.4f (%+.0f%%); ",
+				pat, c.GlobalBaseline, c.GlobalHandshake, c.GlobalGainPct)
+			fmt.Printf("distributed group: Token Slot %.4f -> best DHS %.4f (%+.0f%%)\n",
+				c.DistBaseline, c.DistHandshake, c.DistGainPct)
+			fmt.Printf("%s: worst handshake rates: drop %.4f%%, retransmit %.4f%%, circulation %.4f%%\n",
+				pat, 100*c.MaxDropRate, 100*c.MaxRetxRate, 100*c.MaxCirculateRate)
+		}
+	case *fig == "2b":
+		curves, t, err := exp.Fig2b(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		emitPlot(t.Title, curves)
+	case *fig == "8":
+		curves, t, err := exp.Fig8(*pattern, opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		emitPlot(t.Title, curves)
+	case *fig == "9":
+		curves, t, err := exp.Fig9(*pattern, opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		emitPlot(t.Title, curves)
+	case *fig == "11":
+		for _, s := range []core.Scheme{core.GHS, core.GHSSetaside, core.DHS, core.DHSSetaside, core.DHSCirculation} {
+			curves, t, err := exp.Fig11(s, opts)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+			emitPlot(t.Title, curves)
+		}
+	case *fig == "11f":
+		_, t, err := exp.Fig11f(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package photon_test
+
+import (
+	"fmt"
+
+	"photon"
+)
+
+// ExampleTableI reproduces the paper's Table I component budgets.
+func ExampleTableI() {
+	for _, r := range photon.TableI(photon.DefaultShape()) {
+		fmt.Printf("%-10s %d data WG, %dK rings\n", r.Scheme, r.DataWaveguides, r.MicroRings/1024)
+	}
+	// Output:
+	// Token Slot 256 data WG, 1024K rings
+	// GHS        256 data WG, 1028K rings
+	// DHS        256 data WG, 1028K rings
+	// DHS-cir    256 data WG, 1040K rings
+}
+
+// ExampleNewNetwork runs a short tornado-traffic simulation; results are
+// deterministic for a fixed seed.
+func ExampleNewNetwork() {
+	cfg := photon.DefaultConfig(photon.DHSSetaside)
+	net, err := photon.NewNetwork(cfg, photon.Window{Warmup: 200, Measure: 1000, Drain: 800})
+	if err != nil {
+		panic(err)
+	}
+	inj, err := photon.NewInjector(photon.Tornado{}, 0.03, cfg.Nodes, cfg.CoresPerNode, 42)
+	if err != nil {
+		panic(err)
+	}
+	res := inj.Run(net)
+	fmt.Printf("tornado @0.03: latency %.1f cycles, throughput %.3f\n", res.AvgLatency, res.Throughput)
+	// Output:
+	// tornado @0.03: latency 8.1 cycles, throughput 0.030
+}
+
+// ExampleAppModel_Synthesize generates a deterministic application trace.
+func ExampleAppModel_Synthesize() {
+	app, err := photon.AppByName("fft")
+	if err != nil {
+		panic(err)
+	}
+	tr := app.Synthesize(256, 64, 2000, 7)
+	fmt.Printf("fft trace: %d records, rate %.4f\n", len(tr.Records), tr.Rate())
+	// Output:
+	// fft trace: 2648 records, rate 0.0052
+}

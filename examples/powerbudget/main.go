@@ -1,0 +1,64 @@
+// Powerbudget: explore the hardware side of the design space with the
+// public API — component budgets (Table I methodology) for growing
+// networks, the laser/heating power of each scheme, and the paper's
+// scalability argument: handshake performance is independent of buffer
+// depth, so growing the ring does not force buffer growth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photon"
+)
+
+func main() {
+	// Component budgets as the network scales (Table I methodology).
+	fmt.Println("micro-ring budgets by network size (DHS hardware):")
+	for _, nodes := range []int{16, 32, 64, 128} {
+		shape := photon.DefaultShape()
+		shape.Nodes = nodes
+		rows := photon.TableI(shape)
+		fmt.Printf("  %3d nodes:", nodes)
+		for _, r := range rows {
+			fmt.Printf("  %-10s %6.1fM", r.Scheme, float64(r.MicroRings)/(1<<20))
+		}
+		fmt.Println()
+	}
+
+	// Static power of each scheme at the default 64-node shape.
+	fmt.Println("\nstatic power (laser + ring heating) per scheme at 64 nodes:")
+	model := photon.DefaultPowerModel()
+	for _, scheme := range photon.Schemes() {
+		bd, err := model.Evaluate(scheme.Hardware(), photon.PowerActivity{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s laser %5.2f W   heating %5.2f W\n",
+			scheme.PaperName(), bd.LaserW, bd.HeatW)
+	}
+
+	// The scalability argument: double the ring's round trip (a bigger
+	// die) and compare a credit scheme against a handshake scheme with
+	// the SAME 8-slot buffers. Credit flow control needs buffers to cover
+	// the longer credit loop; handshake does not.
+	fmt.Println("\nlatency at UR 0.09 with 8 buffers as the ring grows:")
+	for _, rt := range []int{8, 16, 32} {
+		fmt.Printf("  round trip %2d cycles:", rt)
+		for _, scheme := range []photon.Scheme{photon.TokenSlot, photon.DHSSetaside} {
+			cfg := photon.DefaultConfig(scheme)
+			cfg.RoundTrip = rt
+			net, err := photon.NewNetwork(cfg, photon.ShortWindow())
+			if err != nil {
+				log.Fatal(err)
+			}
+			inj, err := photon.NewInjector(photon.UniformRandom{}, 0.09, cfg.Nodes, cfg.CoresPerNode, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := inj.Run(net)
+			fmt.Printf("  %s %7.1f cycles", scheme.PaperName(), res.AvgLatency)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,97 @@
+// Package arbiter implements optical channel arbitration for MWSR
+// nanophotonic rings: the single relayed token of global arbitration
+// (Token Channel, GHS) and the per-cycle token slots of distributed
+// arbitration (Token Slot, DHS), plus the "well-served nodes sit on their
+// hands" fairness policy both inherit from Fair Token Channel / Fair Slot.
+//
+// The arbiters are deliberately ignorant of packets and buffers: they only
+// know node offsets and yes/no capture answers supplied through callbacks.
+// Flow-control semantics (credits, handshakes, circulation) are composed on
+// top by the network core.
+package arbiter
+
+// CaptureFunc is asked, in downstream sweep order, whether the node at the
+// given offset captures the token this cycle. Returning true consumes the
+// token (distributed) or parks it at the node (global).
+type CaptureFunc func(offset int) bool
+
+// GlobalToken is the single arbitration token of a globally arbitrated
+// channel. It circulates at light speed — NodesPerCycle node positions per
+// cycle — until a sender captures it; the holder parks the token while it
+// transmits and releases it back onto the loop when done.
+//
+// For Token Channel the token also carries the home node's credit count
+// (Credits); for GHS the field stays unused, which is exactly the paper's
+// point: arbitration without flow-control state.
+type GlobalToken struct {
+	nodes    int
+	perCycle int
+
+	pos    int // last offset swept (0 = home position)
+	holder int // offset of current holder, -1 when the token is free
+
+	// Credits is the credit count piggybacked on the token (Token Channel
+	// only). The network core decrements it on each send; PassHome adds
+	// reimbursements via the onHome callback.
+	Credits int
+
+	captures   int64
+	homePasses int64
+}
+
+// NewGlobalToken returns a free token parked at the home position of a loop
+// with the given node count and per-cycle light speed.
+func NewGlobalToken(nodes, perCycle int) *GlobalToken {
+	return &GlobalToken{nodes: nodes, perCycle: perCycle, holder: -1}
+}
+
+// Held reports whether a sender currently holds the token, and at which
+// offset.
+func (t *GlobalToken) Held() (offset int, held bool) {
+	return t.holder, t.holder >= 0
+}
+
+// Captures reports how many times the token has been captured.
+func (t *GlobalToken) Captures() int64 { return t.captures }
+
+// HomePasses reports how many times the token has swept past the home node.
+func (t *GlobalToken) HomePasses() int64 { return t.homePasses }
+
+// Advance moves a free token one cycle down the loop, sweeping the next
+// NodesPerCycle offsets in order. onHome fires when the sweep crosses the
+// home position (offset 0) — Token Channel reimburses freed credits there.
+// capture is consulted for every non-home offset; the first true parks the
+// token at that offset and ends the sweep. A held token does not move.
+func (t *GlobalToken) Advance(capture CaptureFunc, onHome func()) {
+	if t.holder >= 0 {
+		return
+	}
+	for i := 0; i < t.perCycle; i++ {
+		off := (t.pos + 1 + i) % t.nodes
+		if off == 0 {
+			t.homePasses++
+			if onHome != nil {
+				onHome()
+			}
+			continue
+		}
+		if capture(off) {
+			t.holder = off
+			t.pos = off
+			t.captures++
+			return
+		}
+	}
+	t.pos = (t.pos + t.perCycle) % t.nodes
+}
+
+// Release frees a held token; it resumes circulating from the holder's
+// position on the next Advance. Release panics if the token is free —
+// double releases are arbitration bugs.
+func (t *GlobalToken) Release() {
+	if t.holder < 0 {
+		panic("arbiter: releasing a free global token")
+	}
+	t.pos = t.holder
+	t.holder = -1
+}

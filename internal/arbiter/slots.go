@@ -1,0 +1,120 @@
+package arbiter
+
+import "fmt"
+
+// SlotEmitter implements distributed arbitration: the home node emits a
+// fresh token every cycle (subject to an emission gate), and each live
+// token sweeps one loop segment per cycle until it is captured or completes
+// the loop and expires.
+//
+// Because a token of age a sweeps exactly the offsets of segment a, and
+// tokens are at distinct ages, each node sees at most one token of a given
+// channel per cycle; and because a packet grabbed from the token emitted at
+// cycle t always lands at the home at cycle t+R+1, the data channel is
+// collision-free by construction. Token Slot gates emission on credits; DHS
+// emits unconditionally; DHS-with-circulation suppresses emission on cycles
+// where the home reinjects a packet.
+type SlotEmitter struct {
+	nodes     int
+	roundTrip int
+	perCycle  int
+
+	// live[emitCycle % len(live)] is true when the token emitted that
+	// cycle is still travelling.
+	live []bool
+	// emitBase tracks which absolute cycles the live window covers.
+	lastEmitCheck int64
+
+	emitted  int64
+	captured int64
+	expired  int64
+}
+
+// NewSlotEmitter builds the token-slot machinery for one channel of a loop
+// with the given geometry numbers.
+func NewSlotEmitter(nodes, roundTrip, perCycle int) *SlotEmitter {
+	return &SlotEmitter{
+		nodes:     nodes,
+		roundTrip: roundTrip,
+		perCycle:  perCycle,
+		live:      make([]bool, roundTrip+1),
+	}
+}
+
+// Stats reports cumulative (emitted, captured, expired) token counts.
+func (s *SlotEmitter) Stats() (emitted, captured, expired int64) {
+	return s.emitted, s.captured, s.expired
+}
+
+// Live reports the number of tokens currently travelling.
+func (s *SlotEmitter) Live() int {
+	n := 0
+	for _, l := range s.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance performs one cycle of token motion at cycle now:
+//
+//  1. the token emitted at now-R (if still live) completes the loop and
+//     expires — onExpire lets Token Slot reclaim the unused credit;
+//  2. every live token of age 1..R sweeps its segment; capture is asked in
+//     downstream order and the first true consumes the token;
+//  3. a new token is emitted iff emitGate() allows.
+//
+// Advance must be called exactly once per cycle with strictly increasing
+// now values.
+func (s *SlotEmitter) Advance(now int64, emitGate func() bool, capture CaptureFunc, onExpire func()) {
+	if now <= s.lastEmitCheck && s.emitted+s.expired+s.captured > 0 {
+		panic(fmt.Sprintf("arbiter: SlotEmitter.Advance called twice for cycle %d", now))
+	}
+	s.lastEmitCheck = now
+
+	// 1. Expire the token that has completed the loop (age R+1 this cycle).
+	oldIdx := int((now - int64(s.roundTrip) - 1) % int64(len(s.live)))
+	if oldIdx >= 0 && s.live[oldIdx] {
+		s.live[oldIdx] = false
+		s.expired++
+		if onExpire != nil {
+			onExpire()
+		}
+	}
+
+	// 2. Sweep every live token. The token emitted at cycle e has age
+	// now-e and covers offsets [(age-1)*perCycle+1, age*perCycle].
+	for age := 1; age <= s.roundTrip; age++ {
+		emit := now - int64(age)
+		if emit < 0 {
+			break
+		}
+		idx := int(emit % int64(len(s.live)))
+		if !s.live[idx] {
+			continue
+		}
+		start := (age-1)*s.perCycle + 1
+		for i := 0; i < s.perCycle; i++ {
+			off := start + i
+			if off >= s.nodes {
+				break
+			}
+			if capture(off) {
+				s.live[idx] = false
+				s.captured++
+				break
+			}
+		}
+	}
+
+	// 3. Emit this cycle's token.
+	if emitGate == nil || emitGate() {
+		idx := int(now % int64(len(s.live)))
+		if s.live[idx] {
+			panic(fmt.Sprintf("arbiter: token slot emitted at cycle %d collides with live token", now))
+		}
+		s.live[idx] = true
+		s.emitted++
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"photon/internal/arbiter"
+)
+
+// Config fully describes one simulated network. The zero value is not
+// runnable; start from DefaultConfig and override.
+type Config struct {
+	// Nodes is the number of ring nodes (64 in the paper).
+	Nodes int
+	// CoresPerNode is the concentration degree (4 in the paper); loads in
+	// packets/cycle/core are converted to node rates with this.
+	CoresPerNode int
+	// RoundTrip is the optical loop's round-trip time R in cycles (8).
+	// Nodes must be divisible by RoundTrip.
+	RoundTrip int
+
+	// Scheme selects arbitration + flow control.
+	Scheme Scheme
+
+	// BufferDepth is the home node's input buffer depth — the credit count
+	// of the token-based schemes and the accept/drop threshold of the
+	// handshake schemes (paper default 8).
+	BufferDepth int
+	// SetasideSize is the number of setaside slots per node for the
+	// *Setaside schemes (paper sensitivity: 1..16; default 4).
+	SetasideSize int
+	// QueueCap bounds each node's output queue; 0 = unbounded (open-loop
+	// evaluation standard).
+	QueueCap int
+
+	// EjectRate is how many packets per cycle the home buffer drains to
+	// the cores (1 — the ejection port of the 2-stage router).
+	EjectRate int
+	// EjectStallProb stalls ejection for a cycle with this probability,
+	// modelling receiver-side contention; 0 for open-loop sweeps.
+	EjectStallProb float64
+	// RouterPipeline is the electrical injection pipeline depth in cycles
+	// (2: RC+SA then ST, paper §IV-B).
+	RouterPipeline int
+	// EjectLatency is the electrical ejection latency in cycles (1).
+	EjectLatency int
+
+	// MaxTokenHold caps consecutive sends per global-token grab
+	// (0 = unbounded; credit and setaside limits bound it naturally).
+	MaxTokenHold int
+
+	// Fairness configures the contended-channel service-quota policy
+	// (the "well-served nodes sit on their hands" idea of Fair Slot).
+	Fairness arbiter.FairnessConfig
+
+	// CheckInvariants enables per-cycle credit-conservation and channel
+	// occupancy checks (cheap; on by default, benches may disable).
+	CheckInvariants bool
+
+	// Seed drives every stochastic element (ejection stalls; traffic
+	// sources fork from it by convention).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's evaluation configuration for a scheme:
+// 64 nodes x 4 cores, R = 8, 8 credits, 4 setaside slots, fair token
+// policies enabled.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		Nodes:           64,
+		CoresPerNode:    4,
+		RoundTrip:       8,
+		Scheme:          s,
+		BufferDepth:     8,
+		SetasideSize:    4,
+		QueueCap:        0,
+		EjectRate:       1,
+		EjectStallProb:  0,
+		RouterPipeline:  2,
+		EjectLatency:    1,
+		MaxTokenHold:    0,
+		Fairness:        arbiter.DefaultFairness(),
+		CheckInvariants: true,
+		Seed:            1,
+	}
+}
+
+// Cores returns the total number of cores.
+func (c Config) Cores() int { return c.Nodes * c.CoresPerNode }
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.CoresPerNode < 1 {
+		return fmt.Errorf("core: cores per node must be >= 1, got %d", c.CoresPerNode)
+	}
+	if c.RoundTrip < 1 || c.Nodes%c.RoundTrip != 0 {
+		return fmt.Errorf("core: round trip %d must be >= 1 and divide node count %d", c.RoundTrip, c.Nodes)
+	}
+	if c.Scheme < 0 || c.Scheme >= numSchemes {
+		return fmt.Errorf("core: invalid scheme %d", int(c.Scheme))
+	}
+	if c.BufferDepth < 1 {
+		return fmt.Errorf("core: buffer depth must be >= 1, got %d", c.BufferDepth)
+	}
+	if (c.Scheme == GHSSetaside || c.Scheme == DHSSetaside) && c.SetasideSize < 1 {
+		return fmt.Errorf("core: setaside schemes need SetasideSize >= 1, got %d", c.SetasideSize)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("core: queue cap must be >= 0, got %d", c.QueueCap)
+	}
+	if c.EjectRate < 1 {
+		return fmt.Errorf("core: eject rate must be >= 1, got %d", c.EjectRate)
+	}
+	if c.EjectStallProb < 0 || c.EjectStallProb >= 1 {
+		return fmt.Errorf("core: eject stall probability must be in [0,1), got %g", c.EjectStallProb)
+	}
+	if c.RouterPipeline < 0 {
+		return fmt.Errorf("core: router pipeline must be >= 0, got %d", c.RouterPipeline)
+	}
+	if c.EjectLatency < 0 {
+		return fmt.Errorf("core: eject latency must be >= 0, got %d", c.EjectLatency)
+	}
+	if c.MaxTokenHold < 0 {
+		return fmt.Errorf("core: max token hold must be >= 0, got %d", c.MaxTokenHold)
+	}
+	return nil
+}

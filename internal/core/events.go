@@ -1,0 +1,74 @@
+package core
+
+import "photon/internal/router"
+
+// EventType labels a protocol-level packet event.
+type EventType int
+
+// The observable protocol events, in the order a packet can experience
+// them.
+const (
+	// EvEnqueue: the packet entered its output queue after the injection
+	// pipeline.
+	EvEnqueue EventType = iota
+	// EvLaunch: the packet was launched onto an optical data channel
+	// (fires again for retransmissions).
+	EvLaunch
+	// EvAccept: the home node buffered the packet.
+	EvAccept
+	// EvDrop: the home node had no buffer slot; the packet was discarded
+	// and a NACK issued (handshake schemes).
+	EvDrop
+	// EvReinject: the home node put the packet back onto its own channel
+	// (DHS with circulation).
+	EvReinject
+	// EvAck / EvNack: the handshake answer reached the sender.
+	EvAck
+	EvNack
+	// EvDeliver: the packet was ejected to the destination's cores.
+	EvDeliver
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EvEnqueue:
+		return "enqueue"
+	case EvLaunch:
+		return "launch"
+	case EvAccept:
+		return "accept"
+	case EvDrop:
+		return "drop"
+	case EvReinject:
+		return "reinject"
+	case EvAck:
+		return "ack"
+	case EvNack:
+		return "nack"
+	case EvDeliver:
+		return "deliver"
+	default:
+		return "event?"
+	}
+}
+
+// Event is one protocol observation.
+type Event struct {
+	Cycle  int64
+	Type   EventType
+	Packet *router.Packet
+}
+
+// Trace installs an event observer on the network. The hook fires inline
+// during Step, so observers must be fast and must not mutate the network;
+// pass nil to remove. Delivery events still fire OnDeliver as well.
+func (n *Network) Trace(hook func(Event)) {
+	n.onEvent = hook
+}
+
+// emit fires the observer if one is installed.
+func (n *Network) emit(t EventType, p *router.Packet) {
+	if n.onEvent != nil {
+		n.onEvent(Event{Cycle: n.now, Type: t, Packet: p})
+	}
+}

@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+// TestSchemePatternMatrix smoke-runs every scheme against every pattern at
+// a light load: delivery must be complete, latency finite, invariants (on
+// by default) silent.
+func TestSchemePatternMatrix(t *testing.T) {
+	// Rates keep every channel below the weakest scheme's capacity: the
+	// hotspot pattern concentrates 256*rate*fraction packets/cycle on one
+	// channel, so it runs at a lower rate than the permutations.
+	patterns := []struct {
+		pat  traffic.Pattern
+		rate float64
+	}{
+		{traffic.UniformRandom{}, 0.02},
+		{traffic.BitComplement{}, 0.02},
+		{traffic.Tornado{}, 0.02},
+		{traffic.Transpose{}, 0.02},
+		{traffic.Neighbor{}, 0.02},
+		{traffic.Hotspot{Hot: 7, Fraction: 0.1}, 0.008},
+	}
+	for _, s := range core.Schemes() {
+		for _, pc := range patterns {
+			s, pat, rate := s, pc.pat, pc.rate
+			t.Run(fmt.Sprintf("%v/%s", s, pat.Name()), func(t *testing.T) {
+				t.Parallel()
+				cfg := core.DefaultConfig(s)
+				net, err := core.NewNetwork(cfg, sim.Window{Warmup: 200, Measure: 1000, Drain: 800})
+				if err != nil {
+					t.Fatal(err)
+				}
+				inj, err := traffic.NewInjector(pat, rate, cfg.Nodes, cfg.CoresPerNode, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := inj.Run(net)
+				if res.Delivered == 0 {
+					t.Fatal("nothing delivered")
+				}
+				if res.Unfinished != 0 {
+					t.Fatalf("%d unfinished at light load", res.Unfinished)
+				}
+				if res.AvgLatency < 4 || res.AvgLatency > 80 {
+					t.Fatalf("implausible latency %.1f", res.AvgLatency)
+				}
+			})
+		}
+	}
+}
+
+// TestGeometryMatrix runs every scheme over the ring geometries of the
+// scaling discussion (R = 4..32, and a 128-node loop).
+func TestGeometryMatrix(t *testing.T) {
+	type geo struct{ nodes, rt int }
+	for _, g := range []geo{{64, 4}, {64, 16}, {64, 32}, {128, 16}, {32, 8}} {
+		for _, s := range core.Schemes() {
+			s, g := s, g
+			t.Run(fmt.Sprintf("%v/%dx%d", s, g.nodes, g.rt), func(t *testing.T) {
+				t.Parallel()
+				cfg := core.DefaultConfig(s)
+				cfg.Nodes = g.nodes
+				cfg.RoundTrip = g.rt
+				net, err := core.NewNetwork(cfg, sim.Window{Warmup: 200, Measure: 800, Drain: 1200})
+				if err != nil {
+					t.Fatal(err)
+				}
+				inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.01, cfg.Nodes, cfg.CoresPerNode, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := inj.Run(net)
+				if res.Delivered == 0 || res.Unfinished != 0 {
+					t.Fatalf("delivered %d unfinished %d", res.Delivered, res.Unfinished)
+				}
+				// Zero-load latency must scale with the loop time, not
+				// explode: bounded by ~3R + router overheads.
+				if res.AvgLatency > float64(3*g.rt+20) {
+					t.Fatalf("latency %.1f implausible for R=%d", res.AvgLatency, g.rt)
+				}
+			})
+		}
+	}
+}
+
+// TestEjectRateAboveOne: a 2-packet/cycle ejection drain must be accepted
+// and can only help latency.
+func TestEjectRateAboveOne(t *testing.T) {
+	run := func(rate int) float64 {
+		cfg := core.DefaultConfig(core.TokenSlot)
+		cfg.EjectRate = rate
+		net, err := core.NewNetwork(cfg, sim.ShortWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.15, cfg.Nodes, cfg.CoresPerNode, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Run(net).AvgLatency
+	}
+	if l2, l1 := run(2), run(1); l2 > l1*1.1 {
+		t.Fatalf("faster ejection worsened latency: %.1f vs %.1f", l2, l1)
+	}
+}
+
+// TestSingleCorePerNode: concentration 1 must work (the per-core queue
+// machinery collapses to one queue).
+func TestSingleCorePerNode(t *testing.T) {
+	cfg := core.DefaultConfig(core.DHSSetaside)
+	cfg.CoresPerNode = 1
+	net, err := core.NewNetwork(cfg, sim.ShortWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.2, cfg.Nodes, cfg.CoresPerNode, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := inj.Run(net)
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestDiagnosticsAccounting: slot-scheme token counts must balance
+// (emitted = captured + expired + still-live) and handshake counts must
+// match launches.
+func TestDiagnosticsAccounting(t *testing.T) {
+	cfg := core.DefaultConfig(core.DHS)
+	net, err := core.NewNetwork(cfg, sim.ShortWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.05, cfg.Nodes, cfg.CoresPerNode, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Run(net)
+	var launches, acks, nacks int64
+	for _, d := range net.Diagnostics() {
+		if bal := d.TokensEmitted - d.TokenCaptures - d.TokensExpired; bal < 0 || bal > int64(cfg.RoundTrip)+1 {
+			t.Fatalf("home %d: token imbalance %d (emitted %d captured %d expired %d)",
+				d.Home, bal, d.TokensEmitted, d.TokenCaptures, d.TokensExpired)
+		}
+		launches += d.Launches
+		acks += d.AcksSent
+		nacks += d.NacksSent
+	}
+	st := net.Stats()
+	if launches != st.Launches {
+		t.Fatalf("per-channel launches %d != stats %d", launches, st.Launches)
+	}
+	if acks+nacks != launches {
+		t.Fatalf("handshakes %d != launches %d", acks+nacks, launches)
+	}
+	if nacks != st.Drops {
+		t.Fatalf("nacks %d != drops %d", nacks, st.Drops)
+	}
+}
+
+// TestTokenChannelNeverOverflowsBuffer: the credit invariant holds even
+// under heavy ejection stalls (the buffer is the credit pool; arrivals are
+// always reserved).
+func TestTokenChannelNeverOverflowsBuffer(t *testing.T) {
+	cfg := core.DefaultConfig(core.TokenChannel)
+	cfg.EjectStallProb = 0.7
+	cfg.BufferDepth = 3
+	net, err := core.NewNetwork(cfg, sim.ShortWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.15, cfg.Nodes, cfg.CoresPerNode, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Run(net) // the per-cycle invariant checker would panic on overflow
+	for _, d := range net.Diagnostics() {
+		if d.PeakInputBuf > cfg.BufferDepth {
+			t.Fatalf("home %d: buffer peaked at %d > depth %d", d.Home, d.PeakInputBuf, cfg.BufferDepth)
+		}
+	}
+}
+
+// TestPeakInFlightBounded: no channel ever holds more light than one loop
+// plus the emission slot.
+func TestPeakInFlightBounded(t *testing.T) {
+	for _, s := range core.Schemes() {
+		cfg := core.DefaultConfig(s)
+		net, err := core.NewNetwork(cfg, sim.ShortWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.23, cfg.Nodes, cfg.CoresPerNode, 88)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Run(net)
+		for _, d := range net.Diagnostics() {
+			if d.PeakInFlight > cfg.RoundTrip+2 {
+				t.Fatalf("%v home %d: %d flits in flight", s, d.Home, d.PeakInFlight)
+			}
+		}
+	}
+}

@@ -1,0 +1,678 @@
+package core
+
+import (
+	"fmt"
+
+	"photon/internal/arbiter"
+	"photon/internal/flow"
+	"photon/internal/ring"
+	"photon/internal/router"
+	"photon/internal/sim"
+)
+
+// Network is one cycle-accurate instance of the 64-node MWSR optical ring
+// under a single scheme. It simulates all Nodes channels together because
+// sender-side queues couple them: a node's per-core output queue may hold
+// packets for many destinations, and a pending (un-ACKed) head blocks
+// followers bound elsewhere — the head-of-line effect the paper's setaside
+// and circulation techniques exist to cure.
+//
+// Architecture per node (paper Fig. 7): CoresPerNode output queues (one per
+// attached core) feed a single E/O launch port through the router's SA
+// stage, so a node launches at most one packet per cycle; each queue owns
+// its private setaside slots; the node's own channel ends in an input
+// buffer of BufferDepth slots drained at EjectRate packets per cycle.
+//
+// Cycle phase order (the determinism contract documented in DESIGN.md):
+//
+//  1. optical arrivals at home nodes (accept / drop+NACK / reinject)
+//  2. handshake pulses reach senders (ACK frees, NACK arms retransmit)
+//  3. ejection from home buffers to cores (frees credits)
+//  4. token motion and capture
+//  5. launches onto data channels
+//  6. electrical injection pipeline delivers new packets to output queues
+//  7. invariant checks
+//
+// Identical Config (including Seed) and identical injection sequences give
+// bit-identical results.
+type Network struct {
+	cfg    Config
+	geom   *ring.Geometry
+	window sim.Window
+	now    int64
+	nextID uint64
+
+	nodes []*nodeState
+	chans []*channel
+
+	grants []grant
+
+	stats *Stats
+	rng   *sim.RNG
+
+	// OnDeliver, when set, is invoked for every delivered packet in the
+	// cycle it reaches its destination core — the hook closed-loop
+	// workloads (the CMP model) use to complete transactions.
+	OnDeliver func(*router.Packet)
+
+	// onEvent is the protocol observer installed with Trace.
+	onEvent func(Event)
+
+	injPipe *sim.DelayLine[*router.Packet]
+}
+
+// nodeState is the electrical side of one ring node.
+type nodeState struct {
+	id     int
+	queues []*queueState
+	// wantCount[h] is how many of this node's queues currently want
+	// channel h (their next-ready packet is bound for home h).
+	wantCount []int16
+	// granted marks that the node's launch port is already claimed this
+	// cycle (by a distributed token capture).
+	granted bool
+	// holding is the home id of the global token this node holds, or -1.
+	holding int
+	// rr rotates queue service order (the SA stage's round-robin).
+	rr int
+}
+
+// queueState is one per-core output queue with its send-policy state.
+type queueState struct {
+	out  *router.OutPort
+	want int // home id of the channel this queue's next-ready packet wants, or -1
+}
+
+// channel is the optical machinery of one home node.
+type channel struct {
+	home int
+	data *ring.DataChannel[*router.Packet]
+	hs   *ring.HandshakeChannel // handshake schemes only
+	glob *arbiter.GlobalToken   // global arbitration only
+	slot *arbiter.SlotEmitter   // distributed arbitration only
+	rc   *flow.RelayedCredits   // Token Channel only
+	sc   *flow.SlotCredits      // Token Slot only
+	in   *router.InPort
+	fair *arbiter.Fairness
+
+	// suppress blocks this cycle's token emission after a reinjection
+	// (DHS with circulation: the home "virtually consumes" the token).
+	suppress bool
+	// holdCount counts consecutive sends under the current global grab.
+	holdCount int
+
+	capture arbiter.CaptureFunc
+	gate    func() bool
+	onHome  func()
+	expire  func()
+}
+
+type grant struct {
+	node *nodeState
+	ch   *channel
+}
+
+// NewNetwork builds a network from cfg, measuring over window.
+func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := ring.NewGeometry(cfg.Nodes, cfg.RoundTrip)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:     cfg,
+		geom:    geom,
+		window:  window,
+		stats:   NewStats(window, cfg.Nodes, cfg.Cores()),
+		rng:     sim.NewRNG(cfg.Seed),
+		injPipe: sim.NewDelayLine[*router.Packet](cfg.RouterPipeline + 2),
+	}
+
+	n.nodes = make([]*nodeState, cfg.Nodes)
+	for i := range n.nodes {
+		nd := &nodeState{
+			id:        i,
+			queues:    make([]*queueState, cfg.CoresPerNode),
+			wantCount: make([]int16, cfg.Nodes),
+			holding:   -1,
+		}
+		for q := range nd.queues {
+			nd.queues[q] = &queueState{
+				out:  router.NewOutPort(cfg.Scheme.SendPolicy(), cfg.QueueCap, cfg.SetasideSize),
+				want: -1,
+			}
+		}
+		n.nodes[i] = nd
+	}
+
+	n.chans = make([]*channel, cfg.Nodes)
+	for h := range n.chans {
+		c := &channel{
+			home: h,
+			data: ring.NewDataChannel[*router.Packet](geom),
+			in:   router.NewInPort(cfg.BufferDepth, cfg.EjectRate, cfg.EjectStallProb, n.rng.Fork(uint64(h)+1000)),
+			fair: arbiter.NewFairness(cfg.Nodes, cfg.Fairness),
+		}
+		switch {
+		case cfg.Scheme.Global():
+			c.glob = arbiter.NewGlobalToken(cfg.Nodes, geom.NodesPerCycle())
+		default:
+			c.slot = arbiter.NewSlotEmitter(cfg.Nodes, cfg.RoundTrip, geom.NodesPerCycle())
+		}
+		switch cfg.Scheme {
+		case TokenChannel:
+			c.rc = flow.NewRelayedCredits(cfg.BufferDepth)
+		case TokenSlot:
+			c.sc = flow.NewSlotCredits(cfg.BufferDepth)
+		}
+		if cfg.Scheme.Handshake() {
+			c.hs = ring.NewHandshakeChannel(geom)
+		}
+		n.chans[h] = c
+		n.wireChannel(c)
+	}
+	return n, nil
+}
+
+// wireChannel pre-builds the per-channel closures so the hot loop performs
+// no per-cycle allocation.
+func (n *Network) wireChannel(c *channel) {
+	c.capture = func(off int) bool {
+		id := n.geom.NodeAt(c.home, off)
+		nd := n.nodes[id]
+		if nd.wantCount[c.home] == 0 {
+			return false
+		}
+		if nd.granted || nd.holding >= 0 {
+			return false
+		}
+		if c.rc != nil && c.rc.OnToken() == 0 {
+			// Token Channel: an empty token cannot authorise a send.
+			return false
+		}
+		if !c.fair.Allow(id) {
+			return false
+		}
+		c.fair.OnCapture(id)
+		if c.glob != nil {
+			nd.holding = c.home
+			c.holdCount = 0
+			return true
+		}
+		nd.granted = true
+		if c.sc != nil {
+			c.sc.Capture()
+		}
+		n.grants = append(n.grants, grant{node: nd, ch: c})
+		return true
+	}
+
+	switch {
+	case c.sc != nil: // Token Slot: emission gated on credits.
+		c.gate = func() bool {
+			if c.sc.CanEmit() {
+				c.sc.Emit()
+				return true
+			}
+			return false
+		}
+		c.expire = c.sc.Expire
+	case n.cfg.Scheme.Circulating(): // DHS-cir: reinjection suppresses.
+		c.gate = func() bool {
+			if c.suppress {
+				c.suppress = false
+				return false
+			}
+			return true
+		}
+	default: // DHS: a token every cycle, unconditionally.
+		c.gate = func() bool { return true }
+	}
+
+	if c.rc != nil {
+		c.onHome = c.rc.PassHome
+	}
+}
+
+// Geometry exposes the loop timing model (read-only).
+func (n *Network) Geometry() *ring.Geometry { return n.geom }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Window returns the measurement window.
+func (n *Network) Window() sim.Window { return n.window }
+
+// Stats exposes the live statistics collector.
+func (n *Network) Stats() *Stats { return n.stats }
+
+// Inject hands a packet from srcCore (a global core id) to its node's
+// router at the current cycle; it surfaces in an output queue after the
+// electrical pipeline delay. Destination is a node id (a cache bank's or
+// core cluster's network attachment). Packets whose destination is the
+// source's own node never enter the optical ring: they are delivered
+// locally after the router latency, as in the paper's concentrated S-NUCA
+// layout.
+func (n *Network) Inject(srcCore, dstNode int, class router.Class, tag uint64) *router.Packet {
+	if srcCore < 0 || srcCore >= n.cfg.Cores() {
+		panic(fmt.Sprintf("core: Inject from invalid core %d", srcCore))
+	}
+	if dstNode < 0 || dstNode >= n.cfg.Nodes {
+		panic(fmt.Sprintf("core: Inject to invalid node %d", dstNode))
+	}
+	srcNode := srcCore / n.cfg.CoresPerNode
+	pkt := router.NewPacket(n.nextID, srcNode, dstNode, n.now)
+	n.nextID++
+	pkt.Class = class
+	pkt.Tag = tag | uint64(srcCore)<<40 // keep the core for local queue routing
+	n.stats.onInjected(pkt)
+	n.injPipe.Schedule(n.now+int64(n.cfg.RouterPipeline), pkt)
+	return pkt
+}
+
+// queueOf returns the per-core output queue a packet belongs to.
+func (n *Network) queueOf(pkt *router.Packet) (*nodeState, *queueState) {
+	nd := n.nodes[pkt.Src]
+	core := int(pkt.Tag>>40) % n.cfg.CoresPerNode
+	return nd, nd.queues[core]
+}
+
+// Step advances the network by one cycle, executing the seven phases.
+func (n *Network) Step() {
+	now := n.now
+	for _, c := range n.chans {
+		n.phaseArrive(c, now)
+	}
+	for _, c := range n.chans {
+		n.phaseHandshake(c, now)
+	}
+	for _, c := range n.chans {
+		n.phaseEject(c, now)
+	}
+	// Rotate channel order so cross-channel capture priority (an artefact
+	// of sequential simulation, not physics) carries no systematic bias.
+	start := int(now) % len(n.chans)
+	for i := range n.chans {
+		n.phaseTokens(n.chans[(start+i)%len(n.chans)], now)
+	}
+	n.phaseLaunch(now)
+	n.phasePipeline(now)
+	if n.cfg.CheckInvariants {
+		n.checkInvariants()
+	}
+	n.now++
+}
+
+// RunCycles advances the network by k cycles.
+func (n *Network) RunCycles(k int64) {
+	for i := int64(0); i < k; i++ {
+		n.Step()
+	}
+}
+
+// phaseArrive processes the at-most-one packet landing at channel c's home.
+func (n *Network) phaseArrive(c *channel, now int64) {
+	pkt, ok := c.data.Arrival(now)
+	if !ok {
+		return
+	}
+	switch {
+	case c.rc != nil:
+		must(c.rc.Arrive())
+		if !c.in.Accept(pkt) {
+			panic("core: credit-guaranteed arrival rejected by home buffer (token channel)")
+		}
+		n.emit(EvAccept, pkt)
+	case c.sc != nil:
+		must(c.sc.Arrive())
+		if !c.in.Accept(pkt) {
+			panic("core: credit-guaranteed arrival rejected by home buffer (token slot)")
+		}
+		n.emit(EvAccept, pkt)
+	case n.cfg.Scheme.Circulating():
+		if c.in.Accept(pkt) {
+			n.emit(EvAccept, pkt)
+		} else {
+			pkt.Circulations++
+			n.stats.Circulations++
+			if _, err := c.data.Reinject(now, pkt); err != nil {
+				panic(err)
+			}
+			c.suppress = true
+			n.emit(EvReinject, pkt)
+		}
+	default: // handshake with ACK/NACK
+		off := n.geom.Offset(c.home, pkt.Src)
+		accepted := c.in.Accept(pkt)
+		if accepted {
+			n.emit(EvAccept, pkt)
+		} else {
+			n.stats.Drops++
+			n.emit(EvDrop, pkt)
+		}
+		c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: accepted})
+	}
+}
+
+// phaseHandshake applies ACK/NACK pulses reaching senders this cycle.
+func (n *Network) phaseHandshake(c *channel, now int64) {
+	if c.hs == nil {
+		return
+	}
+	for _, ack := range c.hs.Deliver(now) {
+		nd := n.nodes[ack.To]
+		var hit bool
+		for _, q := range nd.queues {
+			var err error
+			var pkt *router.Packet
+			if ack.Positive {
+				pkt, err = q.out.Ack(ack.PacketID)
+			} else {
+				pkt, err = q.out.Nack(ack.PacketID)
+			}
+			if err == nil {
+				hit = true
+				if ack.Positive {
+					n.emit(EvAck, pkt)
+				} else {
+					n.emit(EvNack, pkt)
+				}
+				n.updateQueueWant(nd, q)
+				break
+			}
+		}
+		if !hit {
+			panic(fmt.Sprintf("core: handshake for unknown packet %d at node %d", ack.PacketID, ack.To))
+		}
+	}
+}
+
+// phaseEject drains the home buffer to the cores and frees credits.
+func (n *Network) phaseEject(c *channel, now int64) {
+	for _, pkt := range c.in.Eject() {
+		if c.rc != nil {
+			must(c.rc.Eject())
+		}
+		if c.sc != nil {
+			must(c.sc.Eject())
+		}
+		pkt.DeliveredAt = now + int64(n.cfg.EjectLatency)
+		n.stats.onDelivered(pkt, false)
+		n.emit(EvDeliver, pkt)
+		if n.OnDeliver != nil {
+			n.OnDeliver(pkt)
+		}
+	}
+}
+
+// phaseTokens advances channel c's arbitration by one cycle.
+func (n *Network) phaseTokens(c *channel, now int64) {
+	if c.fair.BeginCycle(now) {
+		// A new fairness window opened: re-register the still-backlogged
+		// requesters so sustained contention is counted, not just newly
+		// arriving heads.
+		for id, nd := range n.nodes {
+			if nd.wantCount[c.home] > 0 {
+				c.fair.OnRequest(id)
+			}
+		}
+	}
+	if c.glob != nil {
+		if _, held := c.glob.Held(); !held {
+			c.glob.Advance(c.capture, c.onHome)
+		}
+		return
+	}
+	c.slot.Advance(now, c.gate, c.capture, c.expire)
+}
+
+// phaseLaunch fires this cycle's granted and held sends.
+func (n *Network) phaseLaunch(now int64) {
+	// Distributed-token grants: exactly one packet per grant.
+	for _, g := range n.grants {
+		nd, q, pkt := n.pickQueue(g.node, g.ch.home)
+		if pkt == nil {
+			panic("core: token grant with no eligible packet")
+		}
+		n.launch(nd, q, g.ch, pkt)
+		g.node.granted = false
+	}
+	n.grants = n.grants[:0]
+
+	// Global token holders: one packet per cycle while eligible, then
+	// release back onto the loop.
+	for _, c := range n.chans {
+		if c.glob == nil {
+			continue
+		}
+		off, held := c.glob.Held()
+		if !held {
+			continue
+		}
+		nd := n.nodes[n.geom.NodeAt(c.home, off)]
+		canHold := n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold
+		var (
+			q   *queueState
+			pkt *router.Packet
+		)
+		if canHold {
+			_, q, pkt = n.pickQueue(nd, c.home)
+		}
+		if pkt != nil && (c.rc == nil || c.rc.Spend()) {
+			n.launch(nd, q, c, pkt)
+			c.holdCount++
+			// Wave-pipelined release: the re-emitted token rides just
+			// behind the data flit, so a holder with nothing more to send
+			// frees the token in the send cycle rather than one cycle
+			// later — without this, global arbitration caps at half the
+			// channel's wave-pipelined capacity.
+			keep := nd.wantCount[c.home] > 0 &&
+				(n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold) &&
+				(c.rc == nil || c.rc.OnToken() > 0)
+			if !keep {
+				c.glob.Release()
+				nd.holding = -1
+			}
+		} else {
+			c.glob.Release()
+			nd.holding = -1
+		}
+	}
+}
+
+// pickQueue selects, round-robin from the node's SA pointer, a queue whose
+// next-ready packet is bound for home h.
+func (n *Network) pickQueue(nd *nodeState, h int) (*nodeState, *queueState, *router.Packet) {
+	k := len(nd.queues)
+	for i := 0; i < k; i++ {
+		q := nd.queues[(nd.rr+i)%k]
+		if q.want != h {
+			continue
+		}
+		pkt := q.out.NextReady()
+		if pkt == nil || pkt.Dst != h {
+			panic("core: queue want out of sync with its ready packet")
+		}
+		nd.rr = (nd.rr + i + 1) % k
+		return nd, q, pkt
+	}
+	return nd, nil, nil
+}
+
+// launch sends pkt from node nd's queue q onto channel c.
+func (n *Network) launch(nd *nodeState, q *queueState, c *channel, pkt *router.Packet) {
+	retx := pkt.FirstSentAt >= 0
+	off := n.geom.Offset(c.home, nd.id)
+	q.out.MarkSent(pkt, n.now)
+	var err error
+	if c.glob != nil {
+		_, err = c.data.LaunchStream(n.now, off, pkt)
+	} else {
+		_, err = c.data.Launch(n.now, off, pkt)
+	}
+	if err != nil {
+		panic(err)
+	}
+	n.stats.Launches++
+	if retx {
+		n.stats.Retransmits++
+	}
+	n.emit(EvLaunch, pkt)
+	n.updateQueueWant(nd, q)
+}
+
+// phasePipeline moves packets out of the electrical injection pipeline into
+// their output queues (or delivers node-local traffic directly).
+func (n *Network) phasePipeline(now int64) {
+	for _, pkt := range n.injPipe.PopDue(now) {
+		srcNode := pkt.Src
+		if pkt.Dst == srcNode {
+			pkt.DeliveredAt = now + int64(n.cfg.EjectLatency)
+			n.stats.onDelivered(pkt, true)
+			n.emit(EvDeliver, pkt)
+			if n.OnDeliver != nil {
+				n.OnDeliver(pkt)
+			}
+			continue
+		}
+		nd, q := n.queueOf(pkt)
+		if !q.out.Enqueue(pkt) {
+			n.stats.QueueRejected++
+			continue
+		}
+		pkt.EnqueuedAt = now
+		n.emit(EvEnqueue, pkt)
+		n.updateQueueWant(nd, q)
+	}
+}
+
+// updateQueueWant re-derives which channel queue q requests and maintains
+// the node-level want counts the capture callbacks read.
+func (n *Network) updateQueueWant(nd *nodeState, q *queueState) {
+	want := -1
+	if pkt := q.out.NextReady(); pkt != nil {
+		want = pkt.Dst
+		if pkt.ReadyAt < 0 {
+			pkt.ReadyAt = n.now
+		}
+	}
+	if want == q.want {
+		return
+	}
+	if q.want >= 0 {
+		nd.wantCount[q.want]--
+		if nd.wantCount[q.want] < 0 {
+			panic("core: negative want count")
+		}
+	}
+	if want >= 0 {
+		if nd.wantCount[want] == 0 {
+			n.chans[want].fair.OnRequest(nd.id)
+		}
+		nd.wantCount[want]++
+	}
+	q.want = want
+}
+
+// checkInvariants asserts the credit-conservation and channel-occupancy
+// invariants every cycle.
+func (n *Network) checkInvariants() {
+	maxFlight := n.cfg.RoundTrip + 2
+	for _, c := range n.chans {
+		if c.rc != nil {
+			must(c.rc.Invariant())
+		}
+		if c.sc != nil {
+			must(c.sc.Invariant())
+		}
+		if f := c.data.InFlight(); f > maxFlight {
+			panic(fmt.Sprintf("core: channel %d has %d flits in flight (max %d)", c.home, f, maxFlight))
+		}
+	}
+}
+
+// Backlog reports every packet the network still owns: queued, awaiting
+// handshake, in flight, buffered at homes, or in injection pipelines.
+func (n *Network) Backlog() int {
+	total := n.injPipe.Len()
+	for _, nd := range n.nodes {
+		for _, q := range nd.queues {
+			total += q.out.Backlog()
+		}
+	}
+	for _, c := range n.chans {
+		total += c.data.InFlight() + c.in.Occupied()
+	}
+	return total
+}
+
+// Drain keeps stepping (no new injections) until the backlog is empty or
+// limit cycles elapse; it returns the remaining backlog.
+func (n *Network) Drain(limit int64) int {
+	for i := int64(0); i < limit && n.Backlog() > 0; i++ {
+		n.Step()
+	}
+	return n.Backlog()
+}
+
+// Result finalises and returns the run's measurements.
+func (n *Network) Result() Result {
+	n.stats.TokensYielded = 0
+	for _, c := range n.chans {
+		n.stats.TokensYielded += c.fair.Yields()
+	}
+	return n.stats.Finish(n.cfg.Scheme)
+}
+
+// ChannelDiagnostics summarises one channel's low-level counters (tests and
+// the verbose CLI mode use it).
+type ChannelDiagnostics struct {
+	Home          int
+	Launches      int64
+	Reinjections  int64
+	PeakInFlight  int
+	PeakInputBuf  int
+	TokenCaptures int64
+	TokensEmitted int64
+	TokensExpired int64
+	AcksSent      int64
+	NacksSent     int64
+	FairYields    int64
+}
+
+// Diagnostics returns per-channel low-level counters.
+func (n *Network) Diagnostics() []ChannelDiagnostics {
+	out := make([]ChannelDiagnostics, len(n.chans))
+	for i, c := range n.chans {
+		d := ChannelDiagnostics{
+			Home:         c.home,
+			Launches:     c.data.Launches(),
+			Reinjections: c.data.Reinjections(),
+			PeakInFlight: c.data.PeakInFlight(),
+			PeakInputBuf: c.in.Peak(),
+			FairYields:   c.fair.Yields(),
+		}
+		if c.glob != nil {
+			d.TokenCaptures = c.glob.Captures()
+		}
+		if c.slot != nil {
+			d.TokensEmitted, d.TokenCaptures, d.TokensExpired = c.slot.Stats()
+		}
+		if c.hs != nil {
+			d.AcksSent, d.NacksSent = c.hs.Sent()
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package core implements the paper's primary contribution: a
+// cycle-accurate model of a ring-based MWSR nanophotonic network-on-chip
+// under seven arbitration/flow-control schemes — the credit-based
+// baselines (Token Channel, Token Slot) and the proposed handshake schemes
+// (GHS and DHS, each optionally with setaside buffers, and DHS with
+// circulation).
+//
+// The Network type wires together the substrates from the sibling
+// packages: ring (optical timing), arbiter (token motion), flow (credit
+// conservation) and router (electrical queues). One Network simulates all
+// Nodes MWSR channels simultaneously, since sender-side head-of-line
+// interactions couple the channels — the very effect the setaside and
+// circulation techniques target.
+package core
+
+import (
+	"fmt"
+
+	"photon/internal/phys"
+	"photon/internal/router"
+)
+
+// Scheme identifies an arbitration + flow-control scheme.
+type Scheme int
+
+const (
+	// TokenChannel is the global-arbitration baseline: one token per
+	// channel carrying the home node's credit count (Vantrease MICRO'09).
+	TokenChannel Scheme = iota
+	// TokenSlot is the distributed-arbitration baseline: the home node
+	// emits one-credit tokens while it has credits (Vantrease MICRO'09).
+	TokenSlot
+	// GHS is basic Global Handshake: credit-free global token, ACK/NACK
+	// flow control, sent packet blocks the queue head until acknowledged.
+	GHS
+	// GHSSetaside is GHS with setaside buffers absorbing un-ACKed packets.
+	GHSSetaside
+	// DHS is basic Distributed Handshake: a fresh token every cycle,
+	// ACK/NACK flow control, head blocked until acknowledged.
+	DHS
+	// DHSSetaside is DHS with setaside buffers.
+	DHSSetaside
+	// DHSCirculation is DHS where the receiver reinjects packets it cannot
+	// buffer instead of dropping them; senders forget packets at launch
+	// and no handshake waveguide exists.
+	DHSCirculation
+
+	numSchemes
+)
+
+// Schemes lists every implemented scheme in presentation order.
+func Schemes() []Scheme {
+	return []Scheme{TokenChannel, TokenSlot, GHS, GHSSetaside, DHS, DHSSetaside, DHSCirculation}
+}
+
+// GlobalGroup returns the schemes compared in the paper's Figure 8.
+func GlobalGroup() []Scheme { return []Scheme{TokenChannel, GHS, GHSSetaside} }
+
+// DistributedGroup returns the schemes compared in the paper's Figure 9.
+func DistributedGroup() []Scheme {
+	return []Scheme{TokenSlot, DHS, DHSSetaside, DHSCirculation}
+}
+
+func (s Scheme) String() string {
+	switch s {
+	case TokenChannel:
+		return "token-channel"
+	case TokenSlot:
+		return "token-slot"
+	case GHS:
+		return "ghs"
+	case GHSSetaside:
+		return "ghs-setaside"
+	case DHS:
+		return "dhs"
+	case DHSSetaside:
+		return "dhs-setaside"
+	case DHSCirculation:
+		return "dhs-circulation"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a CLI name into a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q (valid: token-channel, token-slot, ghs, ghs-setaside, dhs, dhs-setaside, dhs-circulation)", name)
+}
+
+// Global reports whether the scheme uses global arbitration (one relayed
+// token) rather than distributed per-cycle token slots.
+func (s Scheme) Global() bool { return s == TokenChannel || s == GHS || s == GHSSetaside }
+
+// Handshake reports whether the scheme uses ACK/NACK flow control (and
+// therefore a handshake waveguide).
+func (s Scheme) Handshake() bool {
+	return s == GHS || s == GHSSetaside || s == DHS || s == DHSSetaside
+}
+
+// CreditBased reports whether the scheme relies on credit flow control.
+func (s Scheme) CreditBased() bool { return s == TokenChannel || s == TokenSlot }
+
+// Circulating reports whether the receiver reinjects packets (DHS-cir).
+func (s Scheme) Circulating() bool { return s == DHSCirculation }
+
+// SendPolicy returns the sender-side packet retention policy of the scheme.
+func (s Scheme) SendPolicy() router.SendPolicy {
+	switch s {
+	case GHS, DHS:
+		return router.HoldHead
+	case GHSSetaside, DHSSetaside:
+		return router.Setaside
+	default:
+		// Credit schemes: delivery guaranteed. Circulation: the receiver
+		// takes responsibility.
+		return router.FireAndForget
+	}
+}
+
+// Hardware returns the scheme's hardware profile for Table I and the power
+// model. The setaside variants share their base scheme's optical hardware
+// (setaside buffers are electrical).
+func (s Scheme) Hardware() phys.SchemeHardware {
+	switch s {
+	case TokenChannel:
+		return phys.SchemeHardware{Name: "Token Channel", Arbitration: phys.GlobalArbitration, TokenCreditBits: 6}
+	case TokenSlot:
+		return phys.SchemeHardware{Name: "Token Slot", Arbitration: phys.DistributedArbitration}
+	case GHS:
+		return phys.SchemeHardware{Name: "GHS", Arbitration: phys.GlobalArbitration, Handshake: true}
+	case GHSSetaside:
+		return phys.SchemeHardware{Name: "GHS_SetBuf", Arbitration: phys.GlobalArbitration, Handshake: true}
+	case DHS:
+		return phys.SchemeHardware{Name: "DHS", Arbitration: phys.DistributedArbitration, Handshake: true}
+	case DHSSetaside:
+		return phys.SchemeHardware{Name: "DHS_SetBuf", Arbitration: phys.DistributedArbitration, Handshake: true}
+	case DHSCirculation:
+		return phys.SchemeHardware{Name: "DHS_Cir", Arbitration: phys.DistributedArbitration, Circulation: true}
+	default:
+		panic("core: Hardware of invalid scheme")
+	}
+}
+
+// PaperName returns the label used in the paper's figures.
+func (s Scheme) PaperName() string {
+	switch s {
+	case TokenChannel:
+		return "Token Channel"
+	case TokenSlot:
+		return "Token Slot"
+	case GHS:
+		return "GHS"
+	case GHSSetaside:
+		return "GHS w/ Setaside"
+	case DHS:
+		return "DHS"
+	case DHSSetaside:
+		return "DHS w/ Setaside"
+	case DHSCirculation:
+		return "DHS w/ Circulation"
+	default:
+		return s.String()
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+// runUR drives a scheme with uniform-random traffic at the given per-core
+// rate over a short window and returns the result.
+func runUR(t testing.TB, scheme core.Scheme, rate float64) core.Result {
+	t.Helper()
+	cfg := core.DefaultConfig(scheme)
+	net, err := core.NewNetwork(cfg, sim.ShortWindow())
+	if err != nil {
+		t.Fatalf("NewNetwork(%v): %v", scheme, err)
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, rate, cfg.Nodes, cfg.CoresPerNode, 42)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	return inj.Run(net)
+}
+
+// TestSmokeAllSchemes runs every scheme at a light load and checks basic
+// sanity: packets are delivered, latency is plausible, nothing leaks.
+func TestSmokeAllSchemes(t *testing.T) {
+	for _, s := range core.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			res := runUR(t, s, 0.02)
+			if res.Delivered == 0 {
+				t.Fatalf("no packets delivered")
+			}
+			if res.AvgLatency < 4 || res.AvgLatency > 60 {
+				t.Errorf("implausible avg latency %.1f cycles at light load", res.AvgLatency)
+			}
+			if res.Unfinished > res.Delivered/10 {
+				t.Errorf("too many unfinished packets at light load: %d unfinished vs %d delivered",
+					res.Unfinished, res.Delivered)
+			}
+			t.Logf("%-16s load 0.02: lat=%.1f thr=%.4f arbWait=%.1f drop=%.4f unfinished=%d",
+				s, res.AvgLatency, res.Throughput, res.AvgArbWait, res.DropRate, res.Unfinished)
+		})
+	}
+}
+
+// TestSmokeLoadLadder prints the latency/throughput ladder for each scheme
+// so saturation points are visible in -v output (behavioural check: higher
+// load never reduces accepted throughput at sub-saturation points).
+func TestSmokeLoadLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ladder is slow")
+	}
+	for _, s := range core.Schemes() {
+		for _, rate := range []float64{0.01, 0.05, 0.11, 0.17, 0.23} {
+			res := runUR(t, s, rate)
+			fmt.Printf("%-16s rate=%.2f lat=%7.1f thr=%.4f drop=%.5f retx=%.5f circ=%.5f\n",
+				s, rate, res.AvgLatency, res.Throughput, res.DropRate, res.RetransmitRate, res.CirculationRate)
+		}
+	}
+}

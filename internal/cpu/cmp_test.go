@@ -1,0 +1,207 @@
+package cpu
+
+import (
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+)
+
+func newNet(t testing.TB, scheme core.Scheme) *core.Network {
+	t.Helper()
+	cfg := core.DefaultConfig(scheme)
+	net, err := core.NewNetwork(cfg, sim.Window{Warmup: 0, Measure: 1 << 30, Drain: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.MSHRs = 0 },
+		func(p *Params) { p.IssueWidth = 0 },
+		func(p *Params) { p.MissPer1kInstr = -1 },
+		func(p *Params) { p.BankLatency = 0 },
+		func(p *Params) { p.BanksPerNode = 0 },
+		func(p *Params) { p.Burstiness = 0.5 },
+		func(p *Params) { p.Burstiness = 4; p.MeanBurst = 0 },
+		func(p *Params) { p.PhaseSync = 1.5 },
+	}
+	for i, mod := range bad {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransactionConservation runs a closed loop and checks every request
+// eventually produces a reply: misses == replies once the network drains.
+func TestTransactionConservation(t *testing.T) {
+	net := newNet(t, core.DHSSetaside)
+	p := DefaultParams()
+	p.MissPer1kInstr = 20
+	m, err := New(p, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(3000)
+	// Stop issuing, drain outstanding transactions.
+	for i := 0; i < 2000 && m.replies < m.misses; i++ {
+		now := net.Now()
+		for _, r := range m.bankPipe.PopDue(now) {
+			net.Inject(r.bankCore, r.dstNode, 2, r.tag)
+		}
+		net.Step()
+	}
+	if m.replies != m.misses {
+		t.Fatalf("misses %d != replies %d after drain", m.misses, m.replies)
+	}
+}
+
+// TestMSHRBoundNeverExceeded asserts the self-throttling contract: a core
+// never has more than MSHRs outstanding misses.
+func TestMSHRBoundNeverExceeded(t *testing.T) {
+	net := newNet(t, core.TokenSlot)
+	p := DefaultParams()
+	p.MissPer1kInstr = 100 // memory-bound on purpose
+	p.Burstiness = 4
+	p.MeanBurst = 50
+	m, err := New(p, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		m.Step()
+		net.Step()
+		for c := range m.cores {
+			if m.cores[c].outstanding > p.MSHRs {
+				t.Fatalf("core %d has %d outstanding (MSHRs %d)", c, m.cores[c].outstanding, p.MSHRs)
+			}
+		}
+	}
+	if m.stallCyc == 0 {
+		t.Fatal("memory-bound run never stalled — MSHR window not binding")
+	}
+}
+
+// TestIPCDecreasesWithMissIntensity: more misses per instruction must cost
+// IPC under a fixed network.
+func TestIPCDecreasesWithMissIntensity(t *testing.T) {
+	run := func(miss float64) float64 {
+		net := newNet(t, core.TokenSlot)
+		p := DefaultParams()
+		p.MissPer1kInstr = miss
+		p.Burstiness = 6
+		p.MeanBurst = 100
+		m, err := New(p, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run(5000).IPC
+	}
+	light, heavy := run(2), run(60)
+	if heavy >= light {
+		t.Fatalf("IPC did not drop with miss intensity: %.3f vs %.3f", heavy, light)
+	}
+	if light > float64(DefaultParams().IssueWidth) {
+		t.Fatalf("IPC %.3f exceeds issue width", light)
+	}
+}
+
+// TestSelfThrottlingCapsLoad: the offered network load of the closed loop
+// must respect the MSHR/latency product even when miss demand is huge.
+func TestSelfThrottlingCapsLoad(t *testing.T) {
+	net := newNet(t, core.TokenChannel)
+	p := DefaultParams()
+	p.MissPer1kInstr = 500
+	m, err := New(p, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Run(5000)
+	// Hard bound: each core at most MSHRs transactions per (min latency)
+	// cycles. Min request-reply time is a few cycles; use 6 (bank latency)
+	// as an ultra-conservative floor.
+	maxPerCore := float64(p.MSHRs) / float64(p.BankLatency)
+	perCore := float64(out.Misses) / 5000 / float64(net.Config().Cores())
+	if perCore > maxPerCore {
+		t.Fatalf("closed loop injected %.3f misses/cycle/core, self-throttling broken", perCore)
+	}
+	if out.StallFraction == 0 {
+		t.Fatal("a 500-miss/1k-instr run should stall")
+	}
+}
+
+func TestSmoothVsBurstyPhases(t *testing.T) {
+	// With equal mean intensity, bursty execution must stall more
+	// (synchronised spikes hit the MSHR window harder).
+	run := func(burst float64, sync float64) Outcome {
+		net := newNet(t, core.TokenSlot)
+		p := DefaultParams()
+		p.MissPer1kInstr = 30
+		p.Burstiness = burst
+		p.MeanBurst = 150
+		p.PhaseSync = sync
+		m, err := New(p, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run(6000)
+	}
+	smooth := run(1, 0)
+	bursty := run(8, 0.9)
+	if bursty.StallFraction <= smooth.StallFraction {
+		t.Fatalf("bursty stall %.4f not above smooth %.4f", bursty.StallFraction, smooth.StallFraction)
+	}
+}
+
+func TestAppMissIntensity(t *testing.T) {
+	if got := AppMissIntensity(0.02, 2); got != 10 {
+		t.Fatalf("AppMissIntensity = %g, want 10", got)
+	}
+}
+
+func TestTagPacking(t *testing.T) {
+	for _, c := range []int{0, 1, 255, 1 << 20} {
+		for seq := uint64(0); seq < 128; seq += 31 {
+			if tagCore(txnTag(c, false, seq)) != c || tagCore(txnTag(c, true, seq)) != c {
+				t.Fatalf("core %d did not round-trip", c)
+			}
+			if tagSeq(txnTag(c, true, seq)) != seq {
+				t.Fatalf("seq %d did not round-trip", seq)
+			}
+		}
+	}
+	if tagReply(txnTag(3, false, 0)) || !tagReply(txnTag(3, true, 5)) {
+		t.Fatal("reply flag wrong")
+	}
+	// The network's queue-routing bits (40+) must not disturb the fields.
+	tag := txnTag(7, true, 99) | uint64(123)<<40
+	if tagCore(tag) != 7 || !tagReply(tag) || tagSeq(tag) != 99 {
+		t.Fatal("network tag bits clobbered transaction fields")
+	}
+}
+
+func TestMemLatencyMeasured(t *testing.T) {
+	net := newNet(t, core.DHSSetaside)
+	p := DefaultParams()
+	p.MissPer1kInstr = 15
+	m, err := New(p, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Run(3000)
+	// Round trip >= bank latency + two network traversals' floor.
+	if out.AvgMemLatency < float64(p.BankLatency) {
+		t.Fatalf("AvgMemLatency %.1f below bank latency %d", out.AvgMemLatency, p.BankLatency)
+	}
+	if out.AvgMemLatency > 200 {
+		t.Fatalf("AvgMemLatency %.1f implausible at light load", out.AvgMemLatency)
+	}
+}

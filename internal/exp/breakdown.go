@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"photon/internal/core"
+	"photon/internal/stats"
+	"photon/internal/traffic"
+)
+
+// BreakdownRow decomposes one scheme's average latency at an operating
+// point into its pipeline stages. The decomposition makes the paper's
+// mechanism visible: the handshake schemes win almost entirely in the
+// arbitration-wait term (token waiting time), which is what §III sets out
+// to cut.
+type BreakdownRow struct {
+	Scheme core.Scheme
+	// Queueing is time from entering the output queue to becoming head
+	// (total queue wait minus the head's arbitration wait).
+	Queueing float64
+	// Arbitration is time from head-eligibility to first launch — the
+	// token waiting time.
+	Arbitration float64
+	// FlightAndEject is the remainder: optical flight, home buffering and
+	// ejection, plus the injection pipeline.
+	FlightAndEject float64
+	// Total is the end-to-end average latency.
+	Total float64
+}
+
+// LatencyBreakdown measures the latency decomposition of every scheme
+// under UR at the given load.
+func LatencyBreakdown(load float64, opts Options) ([]BreakdownRow, *stats.Table, error) {
+	if load <= 0 {
+		load = 0.05
+	}
+	var points []Point
+	for _, s := range core.Schemes() {
+		points = append(points, Point{Scheme: s, Pattern: traffic.UniformRandom{}, Rate: load})
+	}
+	results, err := RunPoints(points, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := stats.NewTable(fmt.Sprintf("Latency decomposition (cycles) at UR %.2f pkt/cycle/core", load),
+		"scheme", "queueing", "arbitration", "flight+eject", "total")
+	var rows []BreakdownRow
+	for i, s := range core.Schemes() {
+		r := results[i]
+		arb := r.AvgArbWait
+		queue := r.AvgQueueWait - arb
+		if queue < 0 {
+			queue = 0
+		}
+		rest := r.AvgLatency - r.AvgQueueWait
+		if rest < 0 {
+			rest = 0
+		}
+		row := BreakdownRow{
+			Scheme:         s,
+			Queueing:       queue,
+			Arbitration:    arb,
+			FlightAndEject: rest,
+			Total:          r.AvgLatency,
+		}
+		rows = append(rows, row)
+		t.AddRow(s.PaperName(), fmt.Sprintf("%.1f", row.Queueing), fmt.Sprintf("%.1f", row.Arbitration),
+			fmt.Sprintf("%.1f", row.FlightAndEject), fmt.Sprintf("%.1f", row.Total))
+	}
+	return rows, t, nil
+}

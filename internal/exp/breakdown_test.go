@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"testing"
+
+	"photon/internal/core"
+)
+
+// TestLatencyBreakdownShape: the decomposition sums to the total, and the
+// handshake schemes' advantage over their baselines shows up in the
+// arbitration term — the paper's mechanism.
+func TestLatencyBreakdownShape(t *testing.T) {
+	rows, table, err := LatencyBreakdown(0.05, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 || table.Len() != 7 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byScheme := map[core.Scheme]BreakdownRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		sum := r.Queueing + r.Arbitration + r.FlightAndEject
+		if sum < r.Total*0.95 || sum > r.Total*1.05 {
+			t.Errorf("%v: components sum to %.1f of total %.1f", r.Scheme, sum, r.Total)
+		}
+	}
+	// Distributed token emission removes most token waiting relative to a
+	// single relayed token.
+	if byScheme[core.DHSSetaside].Arbitration >= byScheme[core.TokenChannel].Arbitration {
+		t.Errorf("DHS arbitration wait %.1f not below Token Channel's %.1f",
+			byScheme[core.DHSSetaside].Arbitration, byScheme[core.TokenChannel].Arbitration)
+	}
+}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/traffic"
+)
+
+func TestFigureDriversRejectBadInput(t *testing.T) {
+	opts := quickOpts()
+	if _, _, err := Fig8("NOPE", opts); err == nil {
+		t.Error("Fig8 accepted an unknown pattern")
+	}
+	if _, _, err := Fig9("NOPE", opts); err == nil {
+		t.Error("Fig9 accepted an unknown pattern")
+	}
+	if _, _, err := MultiFlitStudy(core.DHSSetaside, 0.01, Options{Window: opts.Window}); err != nil {
+		t.Errorf("MultiFlitStudy with zero-value quick flag failed: %v", err)
+	}
+}
+
+func TestSweepPropagatesPointErrors(t *testing.T) {
+	series := []SweepSeries{{
+		Label:  "broken",
+		Scheme: core.DHS,
+		Mod:    func(c *core.Config) { c.BufferDepth = 0 },
+	}}
+	if _, err := Sweep(series, traffic.UniformRandom{}, []float64{0.01}, quickOpts()); err == nil {
+		t.Error("Sweep swallowed a configuration error")
+	}
+}
+
+func TestRunPointsEmpty(t *testing.T) {
+	res, err := RunPoints(nil, quickOpts())
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty RunPoints: %v, %d", err, len(res))
+	}
+}
+
+func TestOptionsWorkers(t *testing.T) {
+	o := Options{}
+	if o.workers() < 1 {
+		t.Fatal("default workers < 1")
+	}
+	o.Parallel = 3
+	if o.workers() != 3 {
+		t.Fatal("explicit workers ignored")
+	}
+}

@@ -1,0 +1,230 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (§V). Each driver returns plain
+// data and/or a stats.Table whose rows mirror the corresponding figure's
+// series, so the cmd/ binaries, the benchmark harness and the tests all
+// share one implementation.
+//
+// The per-experiment index lives in DESIGN.md; measured-vs-paper shapes are
+// recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/stats"
+	"photon/internal/traffic"
+)
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Window is the simulation window per point.
+	Window sim.Window
+	// Seed drives all stochastic elements.
+	Seed uint64
+	// Parallel bounds concurrent simulation points (0 = GOMAXPROCS).
+	Parallel int
+	// Quick selects the reduced load grids used by tests and smoke runs.
+	Quick bool
+}
+
+// DefaultOptions returns full-fidelity settings (tens of seconds per
+// figure on a laptop).
+func DefaultOptions() Options {
+	return Options{Window: sim.DefaultWindow(), Seed: 1}
+}
+
+// QuickOptions returns reduced-fidelity settings for tests and CI.
+func QuickOptions() Options {
+	return Options{Window: sim.ShortWindow(), Seed: 1, Quick: true}
+}
+
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Point identifies one simulated configuration of a sweep.
+type Point struct {
+	Scheme  core.Scheme
+	Label   string
+	Pattern traffic.Pattern
+	Rate    float64
+	// Mod customises the configuration (credits, setaside size, ...).
+	Mod func(*core.Config)
+}
+
+// RunPoint simulates one point and returns its result.
+func RunPoint(p Point, opts Options) (core.Result, error) {
+	cfg := core.DefaultConfig(p.Scheme)
+	cfg.Seed = opts.Seed
+	if p.Mod != nil {
+		p.Mod(&cfg)
+	}
+	net, err := core.NewNetwork(cfg, opts.Window)
+	if err != nil {
+		return core.Result{}, err
+	}
+	inj, err := traffic.NewInjector(p.Pattern, p.Rate, cfg.Nodes, cfg.CoresPerNode, opts.Seed+0x9E37)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return inj.Run(net), nil
+}
+
+// RunPoints simulates points concurrently (each point is an independent
+// network, so parallelism does not perturb determinism) and returns
+// results in input order.
+func RunPoints(points []Point, opts Options) ([]core.Result, error) {
+	results := make([]core.Result, len(points))
+	errs := make([]error, len(points))
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for i := range points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunPoint(points[i], opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: point %d (%s %s rate %.3f): %w",
+				i, points[i].Scheme, points[i].Pattern.Name(), points[i].Rate, err)
+		}
+	}
+	return results, nil
+}
+
+// Replication is the aggregate of independent-seed repetitions of one
+// point — simulation confidence intervals for results quoted in
+// EXPERIMENTS.md.
+type Replication struct {
+	N          int
+	Latency    stats.MeanVar
+	Throughput stats.MeanVar
+	DropRate   stats.MeanVar
+}
+
+// Replicate runs a point n times with derived seeds and aggregates. It
+// runs serially — replication is an offline confidence-interval tool.
+func Replicate(p Point, n int, opts Options) (Replication, error) {
+	var rep Replication
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)*0x9E3779B9
+		res, err := RunPoint(p, o)
+		if err != nil {
+			return rep, err
+		}
+		rep.N++
+		rep.Latency.Add(res.AvgLatency)
+		rep.Throughput.Add(res.Throughput)
+		rep.DropRate.Add(res.DropRate)
+	}
+	return rep, nil
+}
+
+// Curve is one series of a latency-vs-load figure.
+type Curve struct {
+	Label      string
+	Scheme     core.Scheme
+	Loads      []float64
+	Latency    []float64
+	Throughput []float64
+	Results    []core.Result
+}
+
+// SaturationThroughput returns the best accepted throughput along the
+// curve — the "network throughput" of the paper's up-to-62% claim.
+func (c Curve) SaturationThroughput() float64 {
+	best := 0.0
+	for _, t := range c.Throughput {
+		if t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// SaturationLoad returns the highest offered load at which average latency
+// stays below latencyCap (the conventional saturation-point definition;
+// the paper's figures clip their axes at 100 cycles).
+func (c Curve) SaturationLoad(latencyCap float64) float64 {
+	sat := 0.0
+	for i, l := range c.Latency {
+		if l <= latencyCap && c.Loads[i] > sat {
+			sat = c.Loads[i]
+		}
+	}
+	return sat
+}
+
+// SweepSeries describes one scheme-series of a sweep.
+type SweepSeries struct {
+	Label  string
+	Scheme core.Scheme
+	Mod    func(*core.Config)
+}
+
+// Sweep runs every (series, load) combination on a pattern.
+func Sweep(series []SweepSeries, pat traffic.Pattern, loads []float64, opts Options) ([]Curve, error) {
+	var points []Point
+	for _, s := range series {
+		for _, rate := range loads {
+			points = append(points, Point{
+				Scheme: s.Scheme, Label: s.Label, Pattern: pat, Rate: rate, Mod: s.Mod,
+			})
+		}
+	}
+	results, err := RunPoints(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]Curve, len(series))
+	k := 0
+	for i, s := range series {
+		c := Curve{Label: s.Label, Scheme: s.Scheme, Loads: loads}
+		for range loads {
+			r := results[k]
+			k++
+			c.Latency = append(c.Latency, r.AvgLatency)
+			c.Throughput = append(c.Throughput, r.Throughput)
+			c.Results = append(c.Results, r)
+		}
+		curves[i] = c
+	}
+	return curves, nil
+}
+
+// PaperLoads returns the paper's x-axis grid for a traffic pattern
+// (Figures 8 and 9 use different ranges per pattern because saturation
+// points differ by ~4x between UR and TOR).
+func PaperLoads(pattern string, quick bool) []float64 {
+	if quick {
+		switch pattern {
+		case "BC":
+			return []float64{0.01, 0.05, 0.09, 0.13, 0.19, 0.25}
+		case "TOR":
+			return []float64{0.01, 0.03, 0.05, 0.08, 0.13, 0.19}
+		default:
+			return []float64{0.01, 0.05, 0.11, 0.17, 0.23}
+		}
+	}
+	switch pattern {
+	case "BC":
+		return []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.15, 0.19, 0.23, 0.27}
+	case "TOR":
+		return []float64{0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.09, 0.13, 0.19, 0.25}
+	default: // UR
+		return []float64{0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.19, 0.21, 0.23, 0.25}
+	}
+}

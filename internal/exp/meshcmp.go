@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+
+	"photon/internal/core"
+	"photon/internal/mesh"
+	"photon/internal/router"
+	"photon/internal/sim"
+	"photon/internal/stats"
+	"photon/internal/traffic"
+)
+
+// MeshCompareRow is one operating point of the electrical-vs-optical
+// motivation study.
+type MeshCompareRow struct {
+	Load        float64
+	MeshLatency float64
+	MeshThr     float64
+	RingLatency float64
+	RingThr     float64
+}
+
+// MeshCompare quantifies the paper's motivating argument (§I): a
+// conventional electrical 2D mesh against the nanophotonic ring with DHS
+// + setaside flow control, on identical uniform-random workloads. The
+// mesh pays multi-hop latency at low load and bisection-limited
+// saturation; the optical ring is one-hop at light speed with
+// wave-pipelined channel capacity.
+func MeshCompare(loads []float64, opts Options) ([]MeshCompareRow, *stats.Table, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.01, 0.03, 0.05, 0.07, 0.09, 0.12, 0.15}
+		if opts.Quick {
+			loads = []float64{0.01, 0.05, 0.09}
+		}
+	}
+	t := stats.NewTable("Electrical 2D mesh vs nanophotonic ring (DHS w/ Setaside), UR",
+		"load", "mesh latency", "mesh thr", "ring latency", "ring thr")
+	var rows []MeshCompareRow
+	for _, load := range loads {
+		mres, err := runMeshUR(load, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rres, err := RunPoint(Point{Scheme: core.DHSSetaside, Pattern: traffic.UniformRandom{}, Rate: load}, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := MeshCompareRow{
+			Load:        load,
+			MeshLatency: mres.AvgLatency,
+			MeshThr:     mres.Throughput,
+			RingLatency: rres.AvgLatency,
+			RingThr:     rres.Throughput,
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("%.2f", load),
+			fmt.Sprintf("%.1f", row.MeshLatency), fmt.Sprintf("%.4f", row.MeshThr),
+			fmt.Sprintf("%.1f", row.RingLatency), fmt.Sprintf("%.4f", row.RingThr))
+	}
+	return rows, t, nil
+}
+
+// runMeshUR drives the electrical mesh with Bernoulli UR traffic.
+func runMeshUR(rate float64, opts Options) (mesh.Result, error) {
+	cfg := mesh.DefaultConfig()
+	cfg.Seed = opts.Seed
+	net, err := mesh.NewNetwork(cfg, opts.Window)
+	if err != nil {
+		return mesh.Result{}, err
+	}
+	rng := sim.NewRNG(opts.Seed + 0x37)
+	ur := traffic.UniformRandom{}
+	w := net.Window()
+	for cyc := int64(0); cyc < w.Warmup+w.Measure; cyc++ {
+		for c := 0; c < cfg.Cores(); c++ {
+			if rng.Bernoulli(rate) {
+				net.Inject(c, ur.Dest(c/cfg.CoresPerNode, cfg.Nodes(), rng), router.ClassData, 0)
+			}
+		}
+		net.Step()
+	}
+	net.Drain(w.Drain + 100_000)
+	return net.Result(), nil
+}

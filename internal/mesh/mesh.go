@@ -1,0 +1,155 @@
+// Package mesh implements the electrical baseline the paper's introduction
+// argues against: a conventional 2D-mesh network-on-chip with hop-by-hop
+// credit-based flow control (§I–II: "In electrical interconnects, nodes
+// are connected to its neighboring nodes using separate electrical links,
+// such as a 2D Mesh network ... many-core systems using electrical
+// interconnects may not be able to meet scalability and high bandwidth").
+//
+// The model is a cycle-accurate single-flit wormhole mesh with
+// dimension-order (XY) routing — deadlock-free by construction — a
+// two-stage router pipeline matching the optical side's electrical
+// assumptions (RC+SA, then ST), one-cycle link traversal, and per-link
+// credit counts. It exists so the repository can quantify the paper's
+// motivating comparison: multi-hop electrical latency/energy versus the
+// one-hop optical ring, on identical workloads and with the same packet
+// and statistics vocabulary.
+package mesh
+
+import (
+	"fmt"
+
+	"photon/internal/sim"
+	"photon/internal/stats"
+)
+
+// Config describes one mesh network.
+type Config struct {
+	// Width and Height of the router grid (8x8 matches the 64-node ring).
+	Width, Height int
+	// CoresPerNode is the concentration degree (4, as in the ring).
+	CoresPerNode int
+	// BufferDepth is each input port's buffer (credits granted upstream).
+	BufferDepth int
+	// InjectionQueueCap bounds per-node injection queues (0 = unbounded).
+	InjectionQueueCap int
+	// RouterPipeline is the per-hop router delay in cycles before switch
+	// traversal (2: RC+SA then ST, as in the paper's electrical router).
+	RouterPipeline int
+	// LinkLatency is the inter-router wire delay in cycles.
+	LinkLatency int
+	Seed        uint64
+}
+
+// DefaultConfig returns the 64-node electrical baseline.
+func DefaultConfig() Config {
+	return Config{
+		Width:          8,
+		Height:         8,
+		CoresPerNode:   4,
+		BufferDepth:    8,
+		RouterPipeline: 2,
+		LinkLatency:    1,
+		Seed:           1,
+	}
+}
+
+// Nodes returns the router count.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// Cores returns the total core count.
+func (c Config) Cores() int { return c.Nodes() * c.CoresPerNode }
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Width < 2 || c.Height < 2 {
+		return fmt.Errorf("mesh: grid must be at least 2x2, got %dx%d", c.Width, c.Height)
+	}
+	if c.CoresPerNode < 1 {
+		return fmt.Errorf("mesh: cores per node must be >= 1")
+	}
+	if c.BufferDepth < 1 {
+		return fmt.Errorf("mesh: buffer depth must be >= 1")
+	}
+	if c.InjectionQueueCap < 0 {
+		return fmt.Errorf("mesh: injection queue cap must be >= 0")
+	}
+	if c.RouterPipeline < 1 {
+		return fmt.Errorf("mesh: router pipeline must be >= 1 cycle")
+	}
+	if c.LinkLatency < 1 {
+		return fmt.Errorf("mesh: link latency must be >= 1 cycle")
+	}
+	return nil
+}
+
+// Port identifies one of a router's five directions.
+type Port int
+
+// The five router ports.
+const (
+	North Port = iota
+	South
+	East
+	West
+	Local
+	numPorts
+)
+
+func (p Port) String() string {
+	switch p {
+	case North:
+		return "N"
+	case South:
+		return "S"
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	default:
+		return "?"
+	}
+}
+
+// Stats collects mesh run measurements.
+type Stats struct {
+	window sim.Window
+	cores  int
+
+	Injected          int64
+	InjectedMeasured  int64
+	Delivered         int64
+	DeliveredInWindow int64
+	LocalDelivered    int64
+	HopsSum           int64
+
+	Latency *stats.Histogram
+}
+
+// Result condenses a mesh run.
+type Result struct {
+	AvgLatency  float64
+	P99Latency  int64
+	Throughput  float64
+	OfferedLoad float64
+	AvgHops     float64
+	Unfinished  int64
+	Delivered   int64
+}
+
+func (s *Stats) finish() Result {
+	mc := float64(s.window.Measure)
+	res := Result{
+		AvgLatency:  s.Latency.Mean(),
+		P99Latency:  s.Latency.Quantile(0.99),
+		Throughput:  float64(s.DeliveredInWindow) / mc / float64(s.cores),
+		OfferedLoad: float64(s.InjectedMeasured) / mc / float64(s.cores),
+		Delivered:   s.Delivered,
+	}
+	if s.Delivered > 0 {
+		res.AvgHops = float64(s.HopsSum) / float64(s.Delivered)
+	}
+	res.Unfinished = s.InjectedMeasured - s.Latency.Count()
+	return res
+}

@@ -1,0 +1,307 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"photon/internal/router"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+func newNet(t testing.TB, mod func(*Config)) *Network {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	net, err := NewNetwork(cfg, sim.ShortWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Width = 1 },
+		func(c *Config) { c.Height = 0 },
+		func(c *Config) { c.CoresPerNode = 0 },
+		func(c *Config) { c.BufferDepth = 0 },
+		func(c *Config) { c.InjectionQueueCap = -1 },
+		func(c *Config) { c.RouterPipeline = 0 },
+		func(c *Config) { c.LinkLatency = 0 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if DefaultConfig().Nodes() != 64 || DefaultConfig().Cores() != 256 {
+		t.Fatal("default shape is not the 64-node/256-core CMP")
+	}
+}
+
+// TestZeroLoadLatencyFormula pins the exact per-hop timing: router pipeline
+// + (link + pipeline) per hop + ejection.
+func TestZeroLoadLatencyFormula(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct{ src, dst int }{
+		{0, 0},   // local
+		{0, 1},   // one hop east
+		{0, 7},   // seven hops east
+		{0, 56},  // seven hops south
+		{0, 63},  // 7+7 hops
+		{63, 0},  // reverse corner
+		{27, 36}, // interior
+	} {
+		net, err := NewNetwork(cfg, sim.Window{Warmup: 0, Measure: 1 << 20, Drain: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, ok := net.Inject(tc.src*cfg.CoresPerNode, tc.dst, router.ClassData, 0)
+		if !ok {
+			t.Fatal("injection refused")
+		}
+		for i := 0; i < 200 && pkt.DeliveredAt < 0; i++ {
+			net.Step()
+		}
+		hops := manhattan(tc.src, tc.dst, cfg.Width)
+		want := int64(cfg.RouterPipeline + hops*(cfg.LinkLatency+cfg.RouterPipeline) + 1)
+		if pkt.DeliveredAt < 0 {
+			t.Fatalf("%d->%d never delivered", tc.src, tc.dst)
+		}
+		if pkt.Latency() != want {
+			t.Errorf("%d->%d: latency %d, want %d (%d hops)", tc.src, tc.dst, pkt.Latency(), want, hops)
+		}
+	}
+}
+
+func manhattan(a, b, w int) int {
+	ax, ay := a%w, a/w
+	bx, by := b%w, b/w
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestHopCountsAreManhattan: XY routing takes exactly the Manhattan path.
+func TestHopCountsAreManhattan(t *testing.T) {
+	net := newNet(t, nil)
+	cfg := net.Config()
+	rng := sim.NewRNG(5)
+	type probe struct {
+		pkt  *router.Packet
+		hops int
+	}
+	var probes []probe
+	net.OnDeliver = func(p *router.Packet) {}
+	for i := 0; i < 50; i++ {
+		src, dst := rng.Intn(cfg.Nodes()), rng.Intn(cfg.Nodes())
+		pkt, ok := net.Inject(src*cfg.CoresPerNode, dst, router.ClassData, 0)
+		if ok {
+			probes = append(probes, probe{pkt, manhattan(src, dst, cfg.Width)})
+		}
+		net.RunCycles(3)
+	}
+	net.Drain(5000)
+	var sumWant int64
+	for _, pr := range probes {
+		if pr.pkt.DeliveredAt < 0 {
+			t.Fatal("probe undelivered")
+		}
+		sumWant += int64(pr.hops)
+	}
+	if net.Stats().HopsSum != sumWant {
+		t.Fatalf("hops sum %d, want Manhattan total %d", net.Stats().HopsSum, sumWant)
+	}
+}
+
+// TestConservationUnderLoad: heavy uniform traffic, everything delivered
+// exactly once after drain; credits never corrupt.
+func TestConservationUnderLoad(t *testing.T) {
+	net := newNet(t, nil)
+	cfg := net.Config()
+	rng := sim.NewRNG(9)
+	ur := traffic.UniformRandom{}
+	for cyc := 0; cyc < 3000; cyc++ {
+		for c := 0; c < cfg.Cores(); c++ {
+			if rng.Bernoulli(0.08) {
+				net.Inject(c, ur.Dest(c/cfg.CoresPerNode, cfg.Nodes(), rng), router.ClassData, 0)
+			}
+		}
+		net.Step()
+	}
+	if left := net.Drain(50_000); left != 0 {
+		t.Fatalf("%d flits stuck (deadlock?)", left)
+	}
+	st := net.Stats()
+	if st.Delivered != st.Injected {
+		t.Fatalf("delivered %d of %d", st.Delivered, st.Injected)
+	}
+}
+
+// TestMeshSaturatesBelowRing: the motivating comparison — the mesh's UR
+// saturation (bisection-limited) sits well below the optical ring's
+// wave-pipelined channels, and its zero-load latency is higher (multi-hop).
+func TestMeshSaturatesBelowRing(t *testing.T) {
+	run := func(rate float64) Result {
+		net := newNet(t, nil)
+		cfg := net.Config()
+		rng := sim.NewRNG(3)
+		ur := traffic.UniformRandom{}
+		w := net.Window()
+		for cyc := int64(0); cyc < w.Warmup+w.Measure; cyc++ {
+			for c := 0; c < cfg.Cores(); c++ {
+				if rng.Bernoulli(rate) {
+					net.Inject(c, ur.Dest(c/cfg.CoresPerNode, cfg.Nodes(), rng), router.ClassData, 0)
+				}
+			}
+			net.Step()
+		}
+		net.Drain(w.Drain)
+		return net.Result()
+	}
+	low := run(0.01)
+	// Multi-hop electrical zero-load latency: ~ 2 + 5.33*3 + 1 = 19.
+	if low.AvgLatency < 12 || low.AvgLatency > 30 {
+		t.Fatalf("zero-load mesh latency %.1f implausible", low.AvgLatency)
+	}
+	high := run(0.12)
+	if high.Throughput > 0.10 {
+		t.Fatalf("mesh accepted %.3f pkt/cycle/core at 0.12 — should saturate below the ring's 0.2", high.Throughput)
+	}
+}
+
+// TestBoundedInjectionQueue: a full injection queue refuses politely.
+func TestBoundedInjectionQueue(t *testing.T) {
+	net := newNet(t, func(c *Config) { c.InjectionQueueCap = 2 })
+	refused := false
+	for i := 0; i < 10; i++ {
+		if _, ok := net.Inject(0, 63, router.ClassData, 0); !ok {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("bounded injection queue never refused")
+	}
+}
+
+// TestDeterminism: identical runs agree.
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		net := newNet(t, nil)
+		cfg := net.Config()
+		rng := sim.NewRNG(11)
+		ur := traffic.UniformRandom{}
+		for cyc := 0; cyc < 1500; cyc++ {
+			for c := 0; c < cfg.Cores(); c++ {
+				if rng.Bernoulli(0.05) {
+					net.Inject(c, ur.Dest(c/cfg.CoresPerNode, cfg.Nodes(), rng), router.ClassData, 0)
+				}
+			}
+			net.Step()
+		}
+		net.Drain(20_000)
+		return net.Result()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAccessorsAndBadInject covers the small API surface.
+func TestAccessorsAndBadInject(t *testing.T) {
+	net := newNet(t, nil)
+	if net.Now() != 0 {
+		t.Fatal("fresh network not at cycle 0")
+	}
+	net.Step()
+	if net.Now() != 1 {
+		t.Fatal("Now did not advance")
+	}
+	if net.Window() != (sim.ShortWindow()) {
+		t.Fatal("Window accessor wrong")
+	}
+	for name, f := range map[string]func(){
+		"core": func() { net.Inject(net.Config().Cores(), 0, router.ClassData, 0) },
+		"node": func() { net.Inject(0, net.Config().Nodes(), router.ClassData, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad Inject did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestEdgeNeighbours: edge routers have no neighbours beyond the grid.
+func TestEdgeNeighbours(t *testing.T) {
+	net := newNet(t, nil)
+	corners := []struct {
+		node int
+		dirs []Port
+	}{
+		{0, []Port{North, West}},
+		{7, []Port{North, East}},
+		{56, []Port{South, West}},
+		{63, []Port{South, East}},
+	}
+	for _, c := range corners {
+		r := net.routers[c.node]
+		for _, d := range c.dirs {
+			if nb := net.neighbour(r, d); nb != -1 {
+				t.Errorf("node %d: %v neighbour = %d, want edge", c.node, d, nb)
+			}
+		}
+	}
+	if net.neighbour(net.routers[0], Local) != -1 {
+		t.Error("Local has no neighbour")
+	}
+	if opposite(Local) != Local {
+		t.Error("opposite(Local) wrong")
+	}
+}
+
+// TestPortLabels covers the Stringer.
+func TestPortLabels(t *testing.T) {
+	want := map[Port]string{North: "N", South: "S", East: "E", West: "W", Local: "L", Port(9): "?"}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("Port(%d) = %q", int(p), p.String())
+		}
+	}
+}
+
+// TestTornadoOnMesh exercises non-minimal-distance permutation traffic on
+// the grid and checks math.IsNaN never leaks into results.
+func TestTornadoOnMesh(t *testing.T) {
+	net := newNet(t, nil)
+	cfg := net.Config()
+	rng := sim.NewRNG(13)
+	tor := traffic.Tornado{}
+	w := net.Window()
+	for cyc := int64(0); cyc < w.Warmup+w.Measure; cyc++ {
+		for c := 0; c < cfg.Cores(); c++ {
+			if rng.Bernoulli(0.02) {
+				net.Inject(c, tor.Dest(c/cfg.CoresPerNode, cfg.Nodes(), rng), router.ClassData, 0)
+			}
+		}
+		net.Step()
+	}
+	net.Drain(w.Drain + 20_000)
+	res := net.Result()
+	if math.IsNaN(res.AvgLatency) || res.Delivered == 0 || res.Unfinished != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}

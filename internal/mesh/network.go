@@ -1,0 +1,325 @@
+package mesh
+
+import (
+	"fmt"
+
+	"photon/internal/router"
+	"photon/internal/sim"
+	"photon/internal/stats"
+)
+
+// flit is one single-flit packet in transit through the mesh.
+type flit struct {
+	pkt        *router.Packet
+	dx, dy     int   // destination coordinates
+	hops       int   // links traversed so far
+	eligibleAt int64 // cycle the router pipeline releases it for switching
+	// from is the port this flit occupies at its current router; credits
+	// return toward that direction's upstream neighbour when it leaves.
+	from Port
+}
+
+// routerState is one mesh router: five input buffers with credit counts
+// toward each neighbour.
+type routerState struct {
+	x, y int
+	in   [numPorts]*sim.Queue[*flit]
+	// credits[p] counts free slots in the p-side neighbour's opposite
+	// input buffer.
+	credits [numPorts]int
+	// arrivals carries flits in flight on the incoming links.
+	arrivals *sim.DelayLine[*flit]
+	// creditReturns carries credits in flight back from neighbours,
+	// tagged by the local output port they replenish.
+	creditReturns *sim.DelayLine[Port]
+	// rr rotates the switch-allocation input priority.
+	rr int
+}
+
+// Network is one cycle-accurate electrical-mesh simulation instance.
+type Network struct {
+	cfg    Config
+	window sim.Window
+	now    int64
+	nextID uint64
+
+	routers []*routerState
+	stats   *Stats
+
+	// OnDeliver fires for every delivered packet.
+	OnDeliver func(*router.Packet)
+}
+
+// NewNetwork builds a mesh measuring over window.
+func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:    cfg,
+		window: window,
+		stats: &Stats{
+			window:  window,
+			cores:   cfg.Cores(),
+			Latency: stats.NewHistogram(0),
+		},
+	}
+	n.routers = make([]*routerState, cfg.Nodes())
+	for i := range n.routers {
+		r := &routerState{
+			x:             i % cfg.Width,
+			y:             i / cfg.Width,
+			arrivals:      sim.NewDelayLine[*flit](cfg.LinkLatency + 2),
+			creditReturns: sim.NewDelayLine[Port](cfg.LinkLatency + 2),
+		}
+		for p := Port(0); p < numPorts; p++ {
+			cap0 := cfg.BufferDepth
+			if p == Local {
+				cap0 = cfg.InjectionQueueCap
+			}
+			r.in[p] = sim.NewQueue[*flit](cap0)
+			r.credits[p] = cfg.BufferDepth
+		}
+		n.routers[i] = r
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Window returns the measurement window.
+func (n *Network) Window() sim.Window { return n.window }
+
+// Stats exposes the live collector.
+func (n *Network) Stats() *Stats { return n.stats }
+
+// nodeAt returns the router index for grid coordinates.
+func (n *Network) nodeAt(x, y int) int { return y*n.cfg.Width + x }
+
+// neighbour returns the router index adjacent via port p, or -1 at an edge.
+func (n *Network) neighbour(r *routerState, p Port) int {
+	switch p {
+	case North:
+		if r.y == 0 {
+			return -1
+		}
+		return n.nodeAt(r.x, r.y-1)
+	case South:
+		if r.y == n.cfg.Height-1 {
+			return -1
+		}
+		return n.nodeAt(r.x, r.y+1)
+	case East:
+		if r.x == n.cfg.Width-1 {
+			return -1
+		}
+		return n.nodeAt(r.x+1, r.y)
+	case West:
+		if r.x == 0 {
+			return -1
+		}
+		return n.nodeAt(r.x-1, r.y)
+	default:
+		return -1
+	}
+}
+
+// opposite returns the port a flit sent via p arrives on at the neighbour.
+func opposite(p Port) Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// route returns the XY dimension-order output port for a flit at router r.
+func route(r *routerState, f *flit) Port {
+	switch {
+	case f.dx > r.x:
+		return East
+	case f.dx < r.x:
+		return West
+	case f.dy > r.y:
+		return South
+	case f.dy < r.y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// Inject hands a packet from srcCore to its router's injection queue. It
+// reports false when a bounded injection queue refuses the packet.
+func (n *Network) Inject(srcCore, dstNode int, class router.Class, tag uint64) (*router.Packet, bool) {
+	if srcCore < 0 || srcCore >= n.cfg.Cores() {
+		panic(fmt.Sprintf("mesh: Inject from invalid core %d", srcCore))
+	}
+	if dstNode < 0 || dstNode >= n.cfg.Nodes() {
+		panic(fmt.Sprintf("mesh: Inject to invalid node %d", dstNode))
+	}
+	src := srcCore / n.cfg.CoresPerNode
+	pkt := router.NewPacket(n.nextID, src, dstNode, n.now)
+	n.nextID++
+	pkt.Class = class
+	pkt.Tag = tag
+	f := &flit{
+		pkt:        pkt,
+		dx:         dstNode % n.cfg.Width,
+		dy:         dstNode / n.cfg.Width,
+		eligibleAt: n.now + int64(n.cfg.RouterPipeline),
+		from:       Local,
+	}
+	if !n.routers[src].in[Local].PushBack(f) {
+		return pkt, false
+	}
+	n.stats.Injected++
+	if n.window.InMeasure(pkt.CreatedAt) {
+		pkt.Measured = true
+		n.stats.InjectedMeasured++
+	}
+	pkt.EnqueuedAt = n.now
+	return pkt, true
+}
+
+// Step advances the mesh one cycle.
+func (n *Network) Step() {
+	now := n.now
+	// 1. Link arrivals enter input buffers (credits guarantee space).
+	for _, r := range n.routers {
+		for _, f := range r.arrivals.PopDue(now) {
+			if !r.in[f.from].PushBack(f) {
+				panic("mesh: credited arrival found a full buffer")
+			}
+		}
+	}
+	// 2. Credit returns replenish output credit counts.
+	for _, r := range n.routers {
+		for _, p := range r.creditReturns.PopDue(now) {
+			r.credits[p]++
+			if r.credits[p] > n.cfg.BufferDepth {
+				panic("mesh: credit overflow")
+			}
+		}
+	}
+	// 3. Switch allocation and traversal: per router, each output port
+	// accepts at most one flit; inputs are served in rotating order.
+	for _, r := range n.routers {
+		var outUsed [numPorts]bool
+		for i := 0; i < int(numPorts); i++ {
+			p := Port((r.rr + i) % int(numPorts))
+			f, ok := r.in[p].Peek()
+			if !ok || f.eligibleAt > now {
+				continue
+			}
+			out := route(r, f)
+			if outUsed[out] {
+				continue
+			}
+			if out == Local {
+				// Ejection: deliver to the attached cores.
+				outUsed[out] = true
+				r.in[p].PopFront()
+				n.afterDequeue(r, p)
+				n.deliver(f, now)
+				continue
+			}
+			if r.credits[out] == 0 {
+				continue
+			}
+			nb := n.neighbour(r, out)
+			if nb < 0 {
+				panic(fmt.Sprintf("mesh: XY routing chose an edge port %v at (%d,%d)", out, r.x, r.y))
+			}
+			outUsed[out] = true
+			r.in[p].PopFront()
+			n.afterDequeue(r, p)
+			r.credits[out]--
+			f.from = opposite(out)
+			f.hops++
+			f.eligibleAt = now + int64(n.cfg.LinkLatency) + int64(n.cfg.RouterPipeline)
+			if f.pkt.FirstSentAt < 0 {
+				f.pkt.FirstSentAt = now
+				f.pkt.SentAt = now
+			}
+			n.routers[nb].arrivals.Schedule(now+int64(n.cfg.LinkLatency), f)
+		}
+		r.rr = (r.rr + 1) % int(numPorts)
+	}
+	n.now++
+}
+
+// afterDequeue returns a credit to the upstream router once a flit leaves
+// input buffer p of router r.
+func (n *Network) afterDequeue(r *routerState, p Port) {
+	if p == Local {
+		return // injection queues are not credited
+	}
+	up := n.neighbour(r, p)
+	if up < 0 {
+		panic("mesh: flit arrived through an edge")
+	}
+	// The upstream router's credit counter for its port facing us.
+	n.routers[up].creditReturns.Schedule(n.now+int64(n.cfg.LinkLatency), opposite(p))
+}
+
+// deliver completes a packet at its destination.
+func (n *Network) deliver(f *flit, now int64) {
+	pkt := f.pkt
+	pkt.DeliveredAt = now + 1 // ejection link
+	n.stats.Delivered++
+	n.stats.HopsSum += int64(f.hops)
+	if f.hops == 0 {
+		n.stats.LocalDelivered++
+	}
+	if n.window.InMeasure(pkt.DeliveredAt) {
+		n.stats.DeliveredInWindow++
+	}
+	if pkt.Measured {
+		n.stats.Latency.Add(pkt.Latency())
+	}
+	if n.OnDeliver != nil {
+		n.OnDeliver(pkt)
+	}
+}
+
+// RunCycles advances k cycles.
+func (n *Network) RunCycles(k int64) {
+	for i := int64(0); i < k; i++ {
+		n.Step()
+	}
+}
+
+// Backlog reports flits still owned anywhere.
+func (n *Network) Backlog() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.arrivals.Len()
+		for p := Port(0); p < numPorts; p++ {
+			total += r.in[p].Len()
+		}
+	}
+	return total
+}
+
+// Drain steps without new traffic until empty or limit.
+func (n *Network) Drain(limit int64) int {
+	for i := int64(0); i < limit && n.Backlog() > 0; i++ {
+		n.Step()
+	}
+	return n.Backlog()
+}
+
+// Result finalises the run.
+func (n *Network) Result() Result { return n.stats.finish() }

@@ -1,0 +1,161 @@
+package phys
+
+import "fmt"
+
+// LossBudget holds the per-component optical losses (in dB) along a light
+// path from laser to photodetector. Defaults follow the published budgets
+// used by Corona, Flexishare and the Joshi clos-network study that the
+// paper's power model cites.
+type LossBudget struct {
+	CouplerDB        float64 // fiber-to-chip coupler
+	SplitterDB       float64 // power splitting into the distribution tree
+	WaveguidePerCMDB float64 // propagation loss per cm
+	RingThroughDB    float64 // passing a single off-resonance ring
+	ModulatorDB      float64 // insertion loss of the modulator ring
+	DropDB           float64 // dropping into the detector ring
+	PhotodetectorDB  float64 // detector termination
+	// PollTapDB is the partial-drop loss a *polling* tap imposes: a node
+	// that may capture a relayed arbitration token keeps its detector ring
+	// near resonance every cycle, skimming part of the token's light even
+	// when it does not capture. Only the single relayed token of global
+	// arbitration pays this at every node per loop — the paper's "schemes
+	// with global arbitration ... incur more optical loss [and] consume
+	// more laser power" (§V-C).
+	PollTapDB float64
+}
+
+// DefaultLossBudget returns the loss figures used throughout the
+// evaluation.
+func DefaultLossBudget() LossBudget {
+	return LossBudget{
+		CouplerDB:        1.0,
+		SplitterDB:       1.2,
+		WaveguidePerCMDB: 1.0,
+		RingThroughDB:    0.01,
+		ModulatorDB:      0.5,
+		DropDB:           1.5,
+		PhotodetectorDB:  0.1,
+		PollTapDB:        0.22,
+	}
+}
+
+// PolledPathLossDB is PathLossDB plus the polling-tap loss of polledTaps
+// actively listening capture rings (the relayed-token path of global
+// arbitration).
+func (l LossBudget) PolledPathLossDB(lengthCM float64, ringsPassed, polledTaps int) float64 {
+	return l.PathLossDB(lengthCM, ringsPassed) + l.PollTapDB*float64(polledTaps)
+}
+
+// PathLossDB computes the worst-case dB loss of one wavelength travelling
+// the full ring: through the coupler and splitter, the whole waveguide
+// length, past ringsPassed off-resonance rings, one modulator, one drop and
+// the detector.
+func (l LossBudget) PathLossDB(lengthCM float64, ringsPassed int) float64 {
+	return l.CouplerDB + l.SplitterDB +
+		l.WaveguidePerCMDB*lengthCM +
+		l.RingThroughDB*float64(ringsPassed) +
+		l.ModulatorDB + l.DropDB + l.PhotodetectorDB
+}
+
+// LaserModel converts a loss budget into electrical laser power.
+type LaserModel struct {
+	Loss LossBudget
+	// DetectorSensitivityMW is the minimum optical power that must reach a
+	// photodetector (10 uW, paper §V-C citing Flexishare).
+	DetectorSensitivityMW float64
+	// WallPlugEfficiency is the electrical-to-optical efficiency of the
+	// off-chip laser (a conservative 30%).
+	WallPlugEfficiency float64
+	// NonlinearityLimitMW caps the optical power carried by one waveguide
+	// (30 mW at 1 dB loss, paper §V-C).
+	NonlinearityLimitMW float64
+}
+
+// DefaultLaserModel returns the paper's laser assumptions.
+func DefaultLaserModel() LaserModel {
+	return LaserModel{
+		Loss:                  DefaultLossBudget(),
+		DetectorSensitivityMW: 0.010,
+		WallPlugEfficiency:    0.30,
+		NonlinearityLimitMW:   30.0,
+	}
+}
+
+// PerWavelengthMW returns the electrical laser power (mW) required for one
+// wavelength traversing lengthCM of waveguide past ringsPassed rings, to
+// arrive at the detector above sensitivity.
+func (m LaserModel) PerWavelengthMW(lengthCM float64, ringsPassed int) (float64, error) {
+	lossDB := m.Loss.PathLossDB(lengthCM, ringsPassed)
+	optical := m.DetectorSensitivityMW * pow10(lossDB/10)
+	if optical > m.NonlinearityLimitMW {
+		return 0, fmt.Errorf("phys: required optical power %.2f mW exceeds %.1f mW non-linearity limit (loss %.1f dB)",
+			optical, m.NonlinearityLimitMW, lossDB)
+	}
+	if m.WallPlugEfficiency <= 0 {
+		return 0, fmt.Errorf("phys: wall-plug efficiency must be positive")
+	}
+	return optical / m.WallPlugEfficiency, nil
+}
+
+// PolledWavelengthMW is PerWavelengthMW for a wavelength whose path is
+// additionally tapped by polledTaps listening rings — the relayed token of
+// global arbitration.
+func (m LaserModel) PolledWavelengthMW(lengthCM float64, ringsPassed, polledTaps int) (float64, error) {
+	lossDB := m.Loss.PolledPathLossDB(lengthCM, ringsPassed, polledTaps)
+	optical := m.DetectorSensitivityMW * pow10(lossDB/10)
+	if optical > m.NonlinearityLimitMW {
+		return 0, fmt.Errorf("phys: polled path needs %.2f mW optical, over the %.1f mW non-linearity limit (loss %.1f dB)",
+			optical, m.NonlinearityLimitMW, lossDB)
+	}
+	if m.WallPlugEfficiency <= 0 {
+		return 0, fmt.Errorf("phys: wall-plug efficiency must be positive")
+	}
+	return optical / m.WallPlugEfficiency, nil
+}
+
+// ThermalTuning models the static ring-heating power: every ring is held on
+// resonance across a temperature range.
+type ThermalTuning struct {
+	PerRingPerKelvinUW float64 // 1 uW per ring per K (paper §V-C)
+	TemperatureRangeK  float64 // 20 K
+}
+
+// DefaultThermalTuning returns the paper's heating assumptions.
+func DefaultThermalTuning() ThermalTuning {
+	return ThermalTuning{PerRingPerKelvinUW: 1.0, TemperatureRangeK: 20.0}
+}
+
+// HeatingWatts returns total tuning power for a ring count.
+func (t ThermalTuning) HeatingWatts(rings int) float64 {
+	return t.PerRingPerKelvinUW * 1e-6 * t.TemperatureRangeK * float64(rings)
+}
+
+// pow10 computes 10^x for the small positive exponents seen in loss budgets
+// without importing math; exp/log via the classic range-reduced series would
+// be overkill, so this uses repeated squaring on 10^(1/16) steps.
+func pow10(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	// 10^x = e^(x*ln10); implement expTaylor with range reduction.
+	const ln10 = 2.302585092994046
+	return expTaylor(x * ln10)
+}
+
+func expTaylor(x float64) float64 {
+	// Range-reduce so the Taylor series converges quickly.
+	n := 0
+	for x > 0.5 {
+		x /= 2
+		n++
+	}
+	term, sum := 1.0, 1.0
+	for i := 1; i < 20; i++ {
+		term *= x / float64(i)
+		sum += term
+	}
+	for ; n > 0; n-- {
+		sum *= sum
+	}
+	return sum
+}

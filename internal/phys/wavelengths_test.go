@@ -1,0 +1,78 @@
+package phys
+
+import "testing"
+
+func TestPlanWavelengthsDefault(t *testing.T) {
+	shape := DefaultShape()
+	for _, hw := range StandardSchemes() {
+		plan, err := PlanWavelengths(shape, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", hw.Name, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%s: %v", hw.Name, err)
+		}
+		counts := plan.CountByUse()
+		if counts[UseData] != shape.Nodes*shape.FlitBits {
+			t.Errorf("%s: data wavelengths %d, want %d", hw.Name, counts[UseData], shape.Nodes*shape.FlitBits)
+		}
+		wantToken := shape.Nodes * (1 + hw.TokenCreditBits)
+		if counts[UseToken] != wantToken {
+			t.Errorf("%s: token wavelengths %d, want %d", hw.Name, counts[UseToken], wantToken)
+		}
+		if hw.Handshake && counts[UseHandshake] != shape.Nodes {
+			t.Errorf("%s: handshake wavelengths %d, want %d", hw.Name, counts[UseHandshake], shape.Nodes)
+		}
+		if !hw.Handshake && counts[UseHandshake] != 0 {
+			t.Errorf("%s: unexpected handshake wavelengths", hw.Name)
+		}
+	}
+}
+
+// TestPlanMatchesTableI: the plan's waveguide total must equal Table I's
+// waveguide columns.
+func TestPlanMatchesTableI(t *testing.T) {
+	shape := DefaultShape()
+	for _, hw := range StandardSchemes() {
+		plan, err := PlanWavelengths(shape, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := ComponentBudget(shape, hw)
+		want := inv.DataWaveguides + inv.TokenWaveguides + inv.HandshakeWaveguides
+		if plan.Waveguides != want {
+			t.Errorf("%s: plan uses %d waveguides, Table I says %d", hw.Name, plan.Waveguides, want)
+		}
+	}
+}
+
+func TestPlanRejectsOversizedRings(t *testing.T) {
+	shape := NetworkShape{Nodes: 128, CoresPerNode: 4, FlitBits: 256}
+	// 128 homes exceed a 64-wavelength handshake waveguide.
+	if _, err := PlanWavelengths(shape, SchemeHardware{Name: "x", Handshake: true}); err == nil {
+		t.Fatal("128-home handshake waveguide accepted")
+	}
+}
+
+func TestPlanValidateCatchesDuplicates(t *testing.T) {
+	p := &AllocationPlan{Assignments: []WavelengthAssignment{
+		{Waveguide: 0, Wavelength: 3, Use: UseData},
+		{Waveguide: 0, Wavelength: 3, Use: UseToken},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate slot accepted")
+	}
+	p2 := &AllocationPlan{Assignments: []WavelengthAssignment{{Wavelength: 99}}}
+	if err := p2.Validate(); err == nil {
+		t.Fatal("over-limit wavelength accepted")
+	}
+}
+
+func TestWavelengthUseString(t *testing.T) {
+	if UseData.String() != "data" || UseToken.String() != "token" || UseHandshake.String() != "handshake" {
+		t.Fatal("labels wrong")
+	}
+	if WavelengthUse(9).String() != "use?" {
+		t.Fatal("unknown label wrong")
+	}
+}

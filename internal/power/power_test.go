@@ -1,0 +1,154 @@
+package power
+
+import (
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/phys"
+)
+
+func eval(t *testing.T, s core.Scheme, act Activity) Breakdown {
+	t.Helper()
+	bd, err := DefaultModel().Evaluate(s.Hardware(), act)
+	if err != nil {
+		t.Fatalf("%v: %v", s, err)
+	}
+	return bd
+}
+
+func TestBreakdownPositive(t *testing.T) {
+	act := Activity{PacketsPerCycle: 20}
+	for _, s := range core.Schemes() {
+		bd := eval(t, s, act)
+		if bd.LaserW <= 0 || bd.HeatW <= 0 || bd.EOW <= 0 || bd.OEW <= 0 || bd.RouterW <= 0 {
+			t.Errorf("%v: non-positive component: %+v", s, bd)
+		}
+		if bd.TotalW() < bd.LaserW+bd.HeatW {
+			t.Errorf("%v: total below static floor", s)
+		}
+	}
+}
+
+// TestStaticDominates pins the paper's observation that laser power and
+// ring heating dominate total power in every scheme.
+func TestStaticDominates(t *testing.T) {
+	act := Activity{PacketsPerCycle: 28} // UR 0.11 x 256 cores
+	for _, s := range core.Schemes() {
+		bd := eval(t, s, act)
+		if static := bd.LaserW + bd.HeatW; static < bd.TotalW()/2 {
+			t.Errorf("%v: static %.1f W is not dominant of %.1f W", s, static, bd.TotalW())
+		}
+	}
+}
+
+// TestLaserOrderingMatchesPaper: global arbitration costs more laser than
+// distributed, and the credit-carrying Token Channel costs the most —
+// Figure 12(a)'s qualitative story.
+func TestLaserOrderingMatchesPaper(t *testing.T) {
+	act := Activity{PacketsPerCycle: 20}
+	tc := eval(t, core.TokenChannel, act).LaserW
+	ghs := eval(t, core.GHS, act).LaserW
+	slot := eval(t, core.TokenSlot, act).LaserW
+	dhs := eval(t, core.DHS, act).LaserW
+	if !(tc > ghs && ghs > slot) {
+		t.Fatalf("laser ordering wrong: TC %.2f, GHS %.2f, slot %.2f", tc, ghs, slot)
+	}
+	// DHS trades Token Slot's credit-bit token wavelength for a handshake
+	// wavelength per home — laser within a percent of each other.
+	if dhs < 0.99*slot || dhs > 1.05*slot {
+		t.Fatalf("DHS laser %.3f not within a few %% of token slot %.3f", dhs, slot)
+	}
+}
+
+// TestCirculationHeatsMore: the 16K reinjection rings cost heating but the
+// removed handshake waveguide saves laser.
+func TestCirculationHeatsMore(t *testing.T) {
+	act := Activity{PacketsPerCycle: 20}
+	dhs := eval(t, core.DHS, act)
+	cir := eval(t, core.DHSCirculation, act)
+	if cir.HeatW <= dhs.HeatW {
+		t.Fatalf("circulation heating %.3f not above DHS %.3f", cir.HeatW, dhs.HeatW)
+	}
+	if cir.LaserW >= dhs.LaserW {
+		t.Fatalf("circulation laser %.3f not below DHS %.3f (handshake waveguide removed)", cir.LaserW, dhs.LaserW)
+	}
+}
+
+// TestHandshakeOverheadNegligible: the paper's claim that the handshake
+// waveguide adds negligible power — under 2% of the total.
+func TestHandshakeOverheadNegligible(t *testing.T) {
+	act := Activity{PacketsPerCycle: 20}
+	slot := eval(t, core.TokenSlot, act)
+	dhs := eval(t, core.DHS, act)
+	if extra := dhs.TotalW() - slot.TotalW(); extra > 0.02*slot.TotalW() {
+		t.Fatalf("handshake adds %.2f W (>2%% of %.2f W)", extra, slot.TotalW())
+	}
+}
+
+func TestDynamicScalesWithActivity(t *testing.T) {
+	lo := eval(t, core.DHS, Activity{PacketsPerCycle: 5})
+	hi := eval(t, core.DHS, Activity{PacketsPerCycle: 50})
+	if hi.EOW <= lo.EOW || hi.RouterW <= lo.RouterW {
+		t.Fatal("dynamic power did not scale with traffic")
+	}
+	if hi.LaserW != lo.LaserW || hi.HeatW != lo.HeatW {
+		t.Fatal("static power changed with traffic")
+	}
+}
+
+func TestRetransmissionsCostEnergy(t *testing.T) {
+	base := eval(t, core.DHS, Activity{PacketsPerCycle: 20})
+	retx := eval(t, core.DHS, Activity{PacketsPerCycle: 20, RetransmissionsPerCycle: 2})
+	if retx.EOW <= base.EOW {
+		t.Fatal("retransmissions added no conversion energy")
+	}
+}
+
+func TestEnergyPerPacket(t *testing.T) {
+	m := DefaultModel()
+	act := Activity{PacketsPerCycle: 20}
+	bd := eval(t, core.DHS, act)
+	nj := m.EnergyPerPacketNJ(bd, act)
+	if nj <= 0 {
+		t.Fatalf("energy per packet %.3f", nj)
+	}
+	// Zero activity: define as 0 rather than dividing by zero.
+	if m.EnergyPerPacketNJ(bd, Activity{}) != 0 {
+		t.Fatal("zero-rate energy per packet should be 0")
+	}
+	// Halving the rate at (almost) fixed power roughly doubles nJ/packet.
+	half := Activity{PacketsPerCycle: 10}
+	bdHalf := eval(t, core.DHS, half)
+	njHalf := m.EnergyPerPacketNJ(bdHalf, half)
+	if njHalf <= nj {
+		t.Fatalf("nJ/packet should grow as rate drops: %.3f vs %.3f", njHalf, nj)
+	}
+}
+
+func TestRouterModelPerFlit(t *testing.T) {
+	r := DefaultRouterModel()
+	if r.PerFlitJ() <= 0 {
+		t.Fatal("per-flit energy non-positive")
+	}
+	want := r.BufWriteJ + r.BufReadJ + r.CrossbarJ + r.ArbitrationJ
+	if r.PerFlitJ() != want {
+		t.Fatal("PerFlitJ does not sum components")
+	}
+}
+
+func TestEvaluateRejectsBadShape(t *testing.T) {
+	m := DefaultModel()
+	m.Shape.Nodes = 0
+	if _, err := m.Evaluate(core.DHS.Hardware(), Activity{}); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}
+
+func TestEvaluateAllStandardHardware(t *testing.T) {
+	m := DefaultModel()
+	for _, hw := range phys.StandardSchemes() {
+		if _, err := m.Evaluate(hw, Activity{PacketsPerCycle: 10}); err != nil {
+			t.Errorf("%s: %v", hw.Name, err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package ring
+
+import "photon/internal/sim"
+
+// Ack is one handshake pulse: a single-bit ACK/NACK addressed to the sender
+// of a specific packet. The paper dedicates one wavelength per home node on
+// a shared handshake waveguide; because the sender knows exactly when its
+// answer is due (AckDelay cycles after launch), one bit of payload —
+// positive or negative — is all that is needed.
+type Ack struct {
+	// To is the absolute node id of the sender being answered.
+	To int
+	// PacketID identifies the packet the answer refers to (simulator-side
+	// bookkeeping; the hardware needs no id thanks to fixed timing).
+	PacketID uint64
+	// Positive is true for ACK (packet buffered at home), false for NACK
+	// (packet dropped; sender must retransmit).
+	Positive bool
+}
+
+// HandshakeChannel carries Ack pulses from a home node back to senders with
+// the fixed AckDelay timing of the loop geometry.
+type HandshakeChannel struct {
+	geom  *Geometry
+	line  *sim.DelayLine[Ack]
+	acks  int64
+	nacks int64
+}
+
+// NewHandshakeChannel builds the handshake channel for one home node.
+func NewHandshakeChannel(geom *Geometry) *HandshakeChannel {
+	return &HandshakeChannel{
+		geom: geom,
+		line: sim.NewDelayLine[Ack](2*geom.RoundTrip() + 4),
+	}
+}
+
+// Send launches the answer for a packet that arrived at the home node at
+// cycle arrivedAt from downstream offset p. The pulse travels the
+// home-to-sender arc in Segment(p) cycles; for a flit whose flight was the
+// nominal FlightToHome this makes the sender observe exactly AckDelay
+// cycles after launch (paper §IV-C).
+func (h *HandshakeChannel) Send(arrivedAt int64, p int, ack Ack) {
+	if ack.Positive {
+		h.acks++
+	} else {
+		h.nacks++
+	}
+	h.line.Schedule(arrivedAt+int64(h.geom.Segment(p)), ack)
+}
+
+// Deliver returns the pulses reaching their senders this cycle.
+func (h *HandshakeChannel) Deliver(now int64) []Ack {
+	return h.line.PopDue(now)
+}
+
+// InFlight reports the number of pulses currently travelling.
+func (h *HandshakeChannel) InFlight() int { return h.line.Len() }
+
+// Sent reports cumulative (ACK, NACK) counts.
+func (h *HandshakeChannel) Sent() (acksSent, nacksSent int64) { return h.acks, h.nacks }

@@ -1,0 +1,240 @@
+package router
+
+import (
+	"fmt"
+
+	"photon/internal/sim"
+)
+
+// SendPolicy selects what happens to a packet at the moment it is launched
+// onto the optical channel — the axis along which the paper's schemes
+// differ at the sender.
+type SendPolicy int
+
+const (
+	// FireAndForget removes the packet from the sender immediately:
+	// credit-based schemes (delivery is guaranteed) and DHS with
+	// circulation (the receiver reinjects instead of dropping).
+	FireAndForget SendPolicy = iota
+	// HoldHead keeps the sent packet logically at the head of the queue
+	// until its ACK arrives — basic GHS/DHS. The queue is blocked
+	// meanwhile: the paper's head-of-line problem.
+	HoldHead
+	// Setaside moves the sent packet into a small side buffer to await its
+	// ACK, freeing the head for the next packet.
+	Setaside
+)
+
+func (p SendPolicy) String() string {
+	switch p {
+	case FireAndForget:
+		return "fire-and-forget"
+	case HoldHead:
+		return "hold-head"
+	case Setaside:
+		return "setaside"
+	default:
+		return "policy?"
+	}
+}
+
+// pendingEntry is a sent-but-unacknowledged packet.
+type pendingEntry struct {
+	pkt       *Packet
+	needsRetx bool
+}
+
+// OutPort is one node's output side: the FIFO output queue in front of E/O
+// conversion plus the pending/setaside machinery of the active send policy.
+//
+// Arbitration interacts with the port through NextReady (which packet wants
+// the channel — retransmissions first, then the queue head if the policy
+// permits) and MarkSent (the packet was launched this cycle).
+type OutPort struct {
+	policy      SendPolicy
+	queue       *sim.Queue[*Packet]
+	setaside    []pendingEntry // used by Setaside policy, cap setasideCap
+	setasideCap int
+	pending     *pendingEntry // used by HoldHead policy
+
+	peakQueue    int
+	peakSetaside int
+}
+
+// NewOutPort builds an output port. queueCap bounds the output queue (0 =
+// unbounded, the open-loop evaluation default); setasideCap is the number
+// of setaside slots and only meaningful under the Setaside policy.
+func NewOutPort(policy SendPolicy, queueCap, setasideCap int) *OutPort {
+	if policy == Setaside && setasideCap < 1 {
+		panic("router: setaside policy needs at least one setaside slot")
+	}
+	return &OutPort{
+		policy:      policy,
+		queue:       sim.NewQueue[*Packet](queueCap),
+		setasideCap: setasideCap,
+	}
+}
+
+// Policy returns the port's send policy.
+func (o *OutPort) Policy() SendPolicy { return o.policy }
+
+// Enqueue admits a packet into the output queue; false means the queue is
+// full (only possible with a bounded queue).
+func (o *OutPort) Enqueue(p *Packet) bool {
+	ok := o.queue.PushBack(p)
+	if ok && o.queue.Len() > o.peakQueue {
+		o.peakQueue = o.queue.Len()
+	}
+	return ok
+}
+
+// QueueLen reports output queue occupancy (excluding pending/setaside).
+func (o *OutPort) QueueLen() int { return o.queue.Len() }
+
+// SetasideLen reports occupied setaside slots.
+func (o *OutPort) SetasideLen() int { return len(o.setaside) }
+
+// Unacked reports the number of sent packets awaiting handshake.
+func (o *OutPort) Unacked() int {
+	n := len(o.setaside)
+	if o.pending != nil {
+		n++
+	}
+	return n
+}
+
+// PeakQueue reports the largest queue occupancy observed.
+func (o *OutPort) PeakQueue() int { return o.peakQueue }
+
+// PeakSetaside reports the largest setaside occupancy observed.
+func (o *OutPort) PeakSetaside() int { return o.peakSetaside }
+
+// Backlog reports every packet still owned by the port (for drain checks).
+func (o *OutPort) Backlog() int { return o.queue.Len() + o.Unacked() }
+
+// NextReady returns the packet that should compete for channel arbitration
+// this cycle, or nil. Priority order:
+//
+//  1. a NACKed packet awaiting retransmission (the oldest one) — it is the
+//     oldest traffic the node holds and retransmitting it first preserves
+//     point-to-point ordering as far as possible;
+//  2. the head of the output queue, provided the policy allows a new
+//     launch (HoldHead: nothing pending; Setaside: a free setaside slot).
+func (o *OutPort) NextReady() *Packet {
+	if o.pending != nil {
+		if o.pending.needsRetx {
+			return o.pending.pkt
+		}
+		if o.policy == HoldHead {
+			// Head is blocked behind the un-ACKed packet.
+			return nil
+		}
+	}
+	for i := range o.setaside {
+		if o.setaside[i].needsRetx {
+			return o.setaside[i].pkt
+		}
+	}
+	if o.policy == Setaside && len(o.setaside) >= o.setasideCap {
+		return nil
+	}
+	if head, ok := o.queue.Peek(); ok {
+		return head
+	}
+	return nil
+}
+
+// MarkSent records that pkt — which must be the current NextReady — was
+// launched at cycle now, applying the policy's state transition.
+func (o *OutPort) MarkSent(pkt *Packet, now int64) {
+	pkt.SentAt = now
+	if pkt.FirstSentAt < 0 {
+		pkt.FirstSentAt = now
+	}
+
+	// Retransmission of the held packet?
+	if o.pending != nil && o.pending.pkt == pkt {
+		if !o.pending.needsRetx {
+			panic("router: re-sending a packet that is still awaiting its handshake")
+		}
+		o.pending.needsRetx = false
+		pkt.Retransmissions++
+		return
+	}
+	// Retransmission from setaside?
+	for i := range o.setaside {
+		if o.setaside[i].pkt == pkt {
+			if !o.setaside[i].needsRetx {
+				panic("router: re-sending a setaside packet that is still awaiting its handshake")
+			}
+			o.setaside[i].needsRetx = false
+			pkt.Retransmissions++
+			return
+		}
+	}
+
+	// First launch: must be the queue head.
+	head, ok := o.queue.Peek()
+	if !ok || head != pkt {
+		panic("router: MarkSent for a packet that is not ready")
+	}
+	o.queue.PopFront()
+	switch o.policy {
+	case FireAndForget:
+		// Sender forgets the packet; delivery is the receiver's problem
+		// (guaranteed by credits, or by circulation).
+	case HoldHead:
+		if o.pending != nil {
+			panic("router: HoldHead launched with a packet already pending")
+		}
+		o.pending = &pendingEntry{pkt: pkt}
+	case Setaside:
+		if len(o.setaside) >= o.setasideCap {
+			panic("router: setaside overflow on launch")
+		}
+		o.setaside = append(o.setaside, pendingEntry{pkt: pkt})
+		if len(o.setaside) > o.peakSetaside {
+			o.peakSetaside = len(o.setaside)
+		}
+	}
+}
+
+// Ack resolves a positive handshake for packet id, releasing it from the
+// pending/setaside state. It returns the acknowledged packet.
+func (o *OutPort) Ack(id uint64) (*Packet, error) {
+	if o.pending != nil && o.pending.pkt.ID == id {
+		pkt := o.pending.pkt
+		if o.pending.needsRetx {
+			return nil, fmt.Errorf("router: ACK for packet %d which is marked for retransmission", id)
+		}
+		o.pending = nil
+		return pkt, nil
+	}
+	for i := range o.setaside {
+		if o.setaside[i].pkt.ID == id {
+			if o.setaside[i].needsRetx {
+				return nil, fmt.Errorf("router: ACK for packet %d which is marked for retransmission", id)
+			}
+			pkt := o.setaside[i].pkt
+			o.setaside = append(o.setaside[:i], o.setaside[i+1:]...)
+			return pkt, nil
+		}
+	}
+	return nil, fmt.Errorf("router: ACK for unknown packet %d", id)
+}
+
+// Nack resolves a negative handshake: the packet stays owned by the port
+// and becomes eligible for retransmission.
+func (o *OutPort) Nack(id uint64) (*Packet, error) {
+	if o.pending != nil && o.pending.pkt.ID == id {
+		o.pending.needsRetx = true
+		return o.pending.pkt, nil
+	}
+	for i := range o.setaside {
+		if o.setaside[i].pkt.ID == id {
+			o.setaside[i].needsRetx = true
+			return o.setaside[i].pkt, nil
+		}
+	}
+	return nil, fmt.Errorf("router: NACK for unknown packet %d", id)
+}

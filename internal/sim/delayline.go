@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// DelayLine models items in flight with per-item arrival cycles — optical
+// packets traversing a waveguide, handshake pulses returning to a sender,
+// and so on. Items scheduled for cycle c are returned by PopDue(c).
+//
+// Internally it is a circular buffer of buckets indexed by cycle modulo the
+// horizon, so scheduling and popping are O(1) amortised. The horizon (the
+// farthest future cycle that may be scheduled) is fixed at construction;
+// exceeding it is a programming error and panics.
+type DelayLine[T any] struct {
+	buckets [][]T
+	now     int64 // next cycle to be popped
+	count   int
+}
+
+// NewDelayLine returns a delay line able to hold items up to horizon cycles
+// in the future. Horizon must be positive.
+func NewDelayLine[T any](horizon int) *DelayLine[T] {
+	if horizon <= 0 {
+		panic("sim: DelayLine horizon must be positive")
+	}
+	return &DelayLine[T]{buckets: make([][]T, horizon+1)}
+}
+
+// Len reports how many items are currently in flight.
+func (d *DelayLine[T]) Len() int { return d.count }
+
+// Schedule places v so that it will be returned by PopDue(due). due must not
+// be earlier than the next un-popped cycle nor beyond the horizon.
+func (d *DelayLine[T]) Schedule(due int64, v T) {
+	if due < d.now {
+		panic(fmt.Sprintf("sim: DelayLine schedule in the past (due %d, now %d)", due, d.now))
+	}
+	if due-d.now >= int64(len(d.buckets)) {
+		panic(fmt.Sprintf("sim: DelayLine schedule beyond horizon (due %d, now %d, horizon %d)", due, d.now, len(d.buckets)-1))
+	}
+	idx := due % int64(len(d.buckets))
+	d.buckets[idx] = append(d.buckets[idx], v)
+	d.count++
+}
+
+// PopDue returns (and removes) every item scheduled for cycle now. Cycles
+// must be popped in non-decreasing order; skipping a cycle forfeits its
+// items, so callers pop every cycle. The returned slice is owned by the
+// caller until the same bucket cycles around.
+func (d *DelayLine[T]) PopDue(now int64) []T {
+	if now < d.now {
+		return nil
+	}
+	d.now = now + 1
+	idx := now % int64(len(d.buckets))
+	out := d.buckets[idx]
+	d.buckets[idx] = nil
+	d.count -= len(out)
+	return out
+}
+
+// SlotLine is a DelayLine restricted to at most one item per cycle. The
+// wave-pipelined data channel uses it: two packets arriving at the home node
+// in the same cycle would mean two light pulses overlapping in the same
+// channel segment, which correct arbitration must never allow. Schedule
+// reports an ErrSlotTaken instead of silently queueing, turning an
+// arbitration bug into a loud failure.
+type SlotLine[T any] struct {
+	slots []slotEntry[T]
+	now   int64
+	count int
+}
+
+type slotEntry[T any] struct {
+	val  T
+	full bool
+}
+
+// ErrSlotTaken is returned by SlotLine.Schedule when the target cycle is
+// already occupied.
+type ErrSlotTaken struct {
+	Due int64
+}
+
+func (e *ErrSlotTaken) Error() string {
+	return fmt.Sprintf("sim: channel slot at cycle %d already occupied", e.Due)
+}
+
+// NewSlotLine returns a slot line with the given horizon (maximum number of
+// cycles into the future that may be booked).
+func NewSlotLine[T any](horizon int) *SlotLine[T] {
+	if horizon <= 0 {
+		panic("sim: SlotLine horizon must be positive")
+	}
+	return &SlotLine[T]{slots: make([]slotEntry[T], horizon+1)}
+}
+
+// Len reports how many slots are currently occupied.
+func (s *SlotLine[T]) Len() int { return s.count }
+
+// Schedule books cycle due for v. It fails with *ErrSlotTaken if that cycle
+// is already booked, and panics on past/beyond-horizon cycles (programming
+// errors rather than modelled conditions).
+func (s *SlotLine[T]) Schedule(due int64, v T) error {
+	if due < s.now {
+		panic(fmt.Sprintf("sim: SlotLine schedule in the past (due %d, now %d)", due, s.now))
+	}
+	if due-s.now >= int64(len(s.slots)) {
+		panic(fmt.Sprintf("sim: SlotLine schedule beyond horizon (due %d, now %d, horizon %d)", due, s.now, len(s.slots)-1))
+	}
+	idx := due % int64(len(s.slots))
+	if s.slots[idx].full {
+		return &ErrSlotTaken{Due: due}
+	}
+	s.slots[idx] = slotEntry[T]{val: v, full: true}
+	s.count++
+	return nil
+}
+
+// Occupied reports whether cycle due is already booked.
+func (s *SlotLine[T]) Occupied(due int64) bool {
+	if due < s.now || due-s.now >= int64(len(s.slots)) {
+		return false
+	}
+	return s.slots[due%int64(len(s.slots))].full
+}
+
+// PopDue returns the item booked for cycle now, if any.
+func (s *SlotLine[T]) PopDue(now int64) (T, bool) {
+	var zero T
+	if now < s.now {
+		return zero, false
+	}
+	s.now = now + 1
+	idx := now % int64(len(s.slots))
+	e := s.slots[idx]
+	if !e.full {
+		return zero, false
+	}
+	s.slots[idx] = slotEntry[T]{}
+	s.count--
+	return e.val, true
+}

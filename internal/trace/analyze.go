@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"photon/internal/stats"
+)
+
+// Analysis summarises a trace's network-relevant character — the numbers a
+// workload sheet reports before any simulation runs.
+type Analysis struct {
+	App     string
+	Records int
+	Cycles  int64
+	// Rate is packets/cycle/core.
+	Rate float64
+	// VMR is the variance-to-mean ratio of per-cycle injection counts:
+	// 1 for Poisson-like traffic, >> 1 for phased/bursty workloads.
+	VMR float64
+	// PeakPerCycle is the largest single-cycle injection count.
+	PeakPerCycle int64
+	// HotNodes lists destinations receiving at least twice the uniform
+	// share, hottest first.
+	HotNodes []HotNode
+	// SourceImbalance is max/mean per-source injection (1 = uniform).
+	SourceImbalance float64
+}
+
+// HotNode is one over-loaded destination.
+type HotNode struct {
+	Node  int
+	Share float64 // fraction of all packets
+}
+
+// Analyze computes a trace's workload summary.
+func Analyze(t *Trace) Analysis {
+	a := Analysis{App: t.App, Records: len(t.Records), Cycles: t.Cycles, Rate: t.Rate()}
+	if t.Cycles == 0 || len(t.Records) == 0 {
+		return a
+	}
+	perCycle := make([]int64, t.Cycles)
+	perDst := make([]int64, t.Nodes)
+	perSrc := make([]int64, t.Cores)
+	for _, r := range t.Records {
+		perCycle[r.Cycle]++
+		perDst[r.DstNode]++
+		perSrc[r.SrcCore]++
+	}
+	var mv stats.MeanVar
+	for _, c := range perCycle {
+		mv.Add(float64(c))
+		if c > a.PeakPerCycle {
+			a.PeakPerCycle = c
+		}
+	}
+	if mv.Mean() > 0 {
+		a.VMR = mv.Var() / mv.Mean()
+	}
+	uniform := float64(len(t.Records)) / float64(t.Nodes)
+	for nd, c := range perDst {
+		if float64(c) >= 2*uniform {
+			a.HotNodes = append(a.HotNodes, HotNode{Node: nd, Share: float64(c) / float64(len(t.Records))})
+		}
+	}
+	sort.Slice(a.HotNodes, func(i, j int) bool { return a.HotNodes[i].Share > a.HotNodes[j].Share })
+	var maxSrc int64
+	for _, c := range perSrc {
+		if c > maxSrc {
+			maxSrc = c
+		}
+	}
+	meanSrc := float64(len(t.Records)) / float64(t.Cores)
+	if meanSrc > 0 {
+		a.SourceImbalance = float64(maxSrc) / meanSrc
+	}
+	return a
+}
+
+// Table renders workload summaries for a set of traces.
+func AnalysisTable(analyses []Analysis) *stats.Table {
+	t := stats.NewTable("Workload character",
+		"app", "records", "rate(pkt/cyc/core)", "VMR", "peak/cycle", "hot nodes", "src imbalance")
+	for _, a := range analyses {
+		t.AddRow(a.App, a.Records, fmt.Sprintf("%.5f", a.Rate), fmt.Sprintf("%.1f", a.VMR),
+			a.PeakPerCycle, len(a.HotNodes), fmt.Sprintf("%.2f", a.SourceImbalance))
+	}
+	return t
+}
+
+// Slice returns the sub-trace covering cycles [from, to), rebased to start
+// at cycle 0.
+func (t *Trace) Slice(from, to int64) (*Trace, error) {
+	if from < 0 || to > t.Cycles || from >= to {
+		return nil, fmt.Errorf("trace: invalid slice [%d,%d) of %d cycles", from, to, t.Cycles)
+	}
+	out := &Trace{App: t.App, Cores: t.Cores, Nodes: t.Nodes, Cycles: to - from}
+	for _, r := range t.Records {
+		if r.Cycle >= from && r.Cycle < to {
+			r.Cycle -= from
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out, nil
+}
+
+// Merge interleaves two traces over the same CMP shape (multiprogrammed
+// workloads); the result spans the longer of the two.
+func Merge(a, b *Trace) (*Trace, error) {
+	if a.Cores != b.Cores || a.Nodes != b.Nodes {
+		return nil, fmt.Errorf("trace: merging mismatched shapes %d/%d vs %d/%d", a.Cores, a.Nodes, b.Cores, b.Nodes)
+	}
+	out := &Trace{
+		App:    a.App + "+" + b.App,
+		Cores:  a.Cores,
+		Nodes:  a.Nodes,
+		Cycles: a.Cycles,
+	}
+	if b.Cycles > out.Cycles {
+		out.Cycles = b.Cycles
+	}
+	out.Records = make([]Record, 0, len(a.Records)+len(b.Records))
+	i, j := 0, 0
+	for i < len(a.Records) || j < len(b.Records) {
+		switch {
+		case j >= len(b.Records) || (i < len(a.Records) && a.Records[i].Cycle <= b.Records[j].Cycle):
+			out.Records = append(out.Records, a.Records[i])
+			i++
+		default:
+			out.Records = append(out.Records, b.Records[j])
+			j++
+		}
+	}
+	return out, nil
+}
+
+// FilterDst returns the sub-trace of packets addressed to keep(dst)==true
+// destinations.
+func (t *Trace) FilterDst(keep func(int) bool) *Trace {
+	out := &Trace{App: t.App, Cores: t.Cores, Nodes: t.Nodes, Cycles: t.Cycles}
+	for _, r := range t.Records {
+		if keep(int(r.DstNode)) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+
+	"photon/internal/router"
+	"photon/internal/sim"
+)
+
+// AppModel parameterises the synthetic generator for one benchmark. The
+// traffic process per core is a two-state (ON/OFF) modulated Bernoulli
+// source — the standard compact model for CMP cache-miss traffic — with a
+// destination mix of address-interleaved S-NUCA banks plus a few hot banks
+// (shared data / directory homes).
+type AppModel struct {
+	// Name is the benchmark label used in Figure 10.
+	Name string
+	// Suite is the benchmark's origin (SPEComp, PARSEC, SPLASH-2, NAS,
+	// SPECjbb).
+	Suite string
+	// MeanRate is the long-run injection rate in packets/cycle/core.
+	MeanRate float64
+	// Burstiness is the ratio of the ON-state rate to the mean rate
+	// (1 = smooth Bernoulli; >1 = phased/bursty).
+	Burstiness float64
+	// MeanBurst is the average ON-phase length in cycles.
+	MeanBurst float64
+	// HotFraction of packets go to one of the hot banks instead of a
+	// uniformly interleaved bank.
+	HotFraction float64
+	// HotBanks is the number of hot destination nodes.
+	HotBanks int
+	// PhaseSync is the fraction of cores whose ON/OFF phases follow a
+	// single global schedule — barrier-phased scientific codes burst
+	// together (high sync), pipeline and transactional codes do not. The
+	// synchronized spikes are what starve credit-based flow control: an
+	// aligned burst multiplies per-channel demand far beyond the credit
+	// round-trip capacity, which is where the paper's handshake schemes
+	// earn their application-level latency wins.
+	PhaseSync float64
+}
+
+// Apps returns the 13 benchmarks of the paper's Figure 10 with their
+// synthetic parameters. Rates are low (the paper: "the packet injection
+// rate of each node in these real applications is very low"), NAS kernels
+// are the heaviest (the paper sees its largest gains there), PARSEC codes
+// the lightest, and the scientific codes the burstiest (barrier-phased
+// communication).
+func Apps() []AppModel {
+	return []AppModel{
+		// SPEComp 2001: OpenMP scientific codes, barrier-phased bursts.
+		{Name: "fma3d", Suite: "SPEComp", MeanRate: 0.004, Burstiness: 8, MeanBurst: 200, HotFraction: 0.10, HotBanks: 2, PhaseSync: 0.8},
+		{Name: "equake", Suite: "SPEComp", MeanRate: 0.006, Burstiness: 10, MeanBurst: 150, HotFraction: 0.15, HotBanks: 2, PhaseSync: 0.85},
+		{Name: "mgrid", Suite: "SPEComp", MeanRate: 0.008, Burstiness: 6, MeanBurst: 300, HotFraction: 0.08, HotBanks: 4, PhaseSync: 0.8},
+		// PARSEC: pipeline-parallel codes, light and fairly smooth.
+		{Name: "blackscholes", Suite: "PARSEC", MeanRate: 0.001, Burstiness: 2, MeanBurst: 100, HotFraction: 0.05, HotBanks: 1, PhaseSync: 0.1},
+		{Name: "freqmine", Suite: "PARSEC", MeanRate: 0.003, Burstiness: 3, MeanBurst: 120, HotFraction: 0.12, HotBanks: 2, PhaseSync: 0.2},
+		{Name: "streamcluster", Suite: "PARSEC", MeanRate: 0.005, Burstiness: 4, MeanBurst: 250, HotFraction: 0.20, HotBanks: 1, PhaseSync: 0.4},
+		{Name: "swaptions", Suite: "PARSEC", MeanRate: 0.002, Burstiness: 2, MeanBurst: 100, HotFraction: 0.05, HotBanks: 1, PhaseSync: 0.1},
+		// SPLASH-2 kernels: strided sharing, phase-synchronised bursts.
+		{Name: "fft", Suite: "SPLASH-2", MeanRate: 0.010, Burstiness: 6, MeanBurst: 180, HotFraction: 0.10, HotBanks: 4, PhaseSync: 0.7},
+		{Name: "lu", Suite: "SPLASH-2", MeanRate: 0.007, Burstiness: 5, MeanBurst: 220, HotFraction: 0.15, HotBanks: 2, PhaseSync: 0.6},
+		{Name: "radix", Suite: "SPLASH-2", MeanRate: 0.012, Burstiness: 7, MeanBurst: 160, HotFraction: 0.10, HotBanks: 4, PhaseSync: 0.75},
+		// NAS parallel benchmarks: the heaviest network users in the paper.
+		{Name: "nas-cg", Suite: "NAS", MeanRate: 0.020, Burstiness: 8, MeanBurst: 250, HotFraction: 0.12, HotBanks: 4, PhaseSync: 0.9},
+		{Name: "nas-mg", Suite: "NAS", MeanRate: 0.016, Burstiness: 9, MeanBurst: 200, HotFraction: 0.10, HotBanks: 4, PhaseSync: 0.85},
+		// SPECjbb 2000: transactional, smooth with hot directory banks.
+		{Name: "specjbb", Suite: "SPECjbb", MeanRate: 0.009, Burstiness: 3, MeanBurst: 140, HotFraction: 0.25, HotBanks: 2, PhaseSync: 0.2},
+	}
+}
+
+// AppByName finds a benchmark model.
+func AppByName(name string) (AppModel, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return AppModel{}, fmt.Errorf("trace: unknown application %q", name)
+}
+
+// Synthesize generates a deterministic trace for the model on a CMP of the
+// given shape. Each core runs an independent ON/OFF source: ON phases of
+// geometric length MeanBurst inject at Burstiness*MeanRate; OFF phases are
+// sized to hit MeanRate in the long run. Destinations are S-NUCA
+// interleaved (uniform over nodes) with a HotFraction diverted to the hot
+// banks; a core's own node is allowed (local traffic bypasses the ring, as
+// in the real layout).
+func (m AppModel) Synthesize(cores, nodes int, cycles int64, seed uint64) *Trace {
+	if m.Burstiness < 1 {
+		m.Burstiness = 1
+	}
+	onRate := m.MeanRate * m.Burstiness
+	if onRate > 1 {
+		onRate = 1
+	}
+	// Duty cycle d satisfies d*onRate = MeanRate.
+	duty := m.MeanRate / onRate
+	meanOff := m.MeanBurst * (1 - duty) / duty
+	root := sim.NewRNG(seed ^ hashString(m.Name))
+
+	t := &Trace{App: m.Name, Cores: cores, Nodes: nodes, Cycles: cycles}
+	hot := make([]int, m.HotBanks)
+	for i := range hot {
+		hot[i] = root.Intn(nodes)
+	}
+
+	type phase struct {
+		rng    *sim.RNG
+		on     bool
+		remain int64
+	}
+	newPhase := func(rng *sim.RNG) phase {
+		p := phase{rng: rng, on: rng.Bernoulli(duty)}
+		if p.on {
+			p.remain = 1 + rng.Geometric(1/maxf(m.MeanBurst, 1))
+		} else {
+			p.remain = 1 + rng.Geometric(1/maxf(meanOff, 1))
+		}
+		return p
+	}
+	advance := func(p *phase) {
+		if p.remain <= 0 {
+			p.on = !p.on
+			if p.on {
+				p.remain = 1 + p.rng.Geometric(1/maxf(m.MeanBurst, 1))
+			} else {
+				p.remain = 1 + p.rng.Geometric(1/maxf(meanOff, 1))
+			}
+		}
+		p.remain--
+	}
+
+	// The global phase models barrier-synchronised program phases; each
+	// core either follows it (with probability PhaseSync, decided once) or
+	// runs its own independent phase process.
+	global := newPhase(root.Fork(0xBA221E2))
+	type coreState struct {
+		rng    *sim.RNG
+		synced bool
+		own    phase
+	}
+	states := make([]coreState, cores)
+	for c := range states {
+		rng := root.Fork(uint64(c))
+		states[c] = coreState{
+			rng:    rng,
+			synced: rng.Bernoulli(m.PhaseSync),
+			own:    newPhase(rng.Fork(1)),
+		}
+	}
+
+	// Generate per cycle so records come out globally sorted.
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		advance(&global)
+		for c := range states {
+			st := &states[c]
+			on := global.on
+			if !st.synced {
+				advance(&st.own)
+				on = st.own.on
+			}
+			rate := onRate
+			if !on {
+				rate = 0
+			}
+			if !st.rng.Bernoulli(rate) {
+				continue
+			}
+			var dst int
+			if len(hot) > 0 && st.rng.Bernoulli(m.HotFraction) {
+				dst = hot[st.rng.Intn(len(hot))]
+			} else {
+				dst = st.rng.Intn(nodes)
+			}
+			t.Records = append(t.Records, Record{
+				Cycle:   cyc,
+				SrcCore: int32(c),
+				DstNode: int32(dst),
+				Class:   router.ClassData,
+			})
+		}
+	}
+	return t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"fmt"
+
+	"photon/internal/core"
+)
+
+// Replay drives a network with the trace open-loop (injections at the
+// trace's own timestamps), then drains, and returns the run result. The
+// network's configuration must match the trace's shape. The network's
+// measurement window should cover the trace span; Replay measures every
+// packet by running with warmup 0.
+func Replay(t *Trace, net *core.Network, drainLimit int64) (core.Result, error) {
+	cfg := net.Config()
+	if cfg.Cores() != t.Cores || cfg.Nodes != t.Nodes {
+		return core.Result{}, fmt.Errorf("trace: shape mismatch: trace %d cores/%d nodes, network %d/%d",
+			t.Cores, t.Nodes, cfg.Cores(), cfg.Nodes)
+	}
+	idx := 0
+	for cyc := int64(0); cyc < t.Cycles; cyc++ {
+		for idx < len(t.Records) && t.Records[idx].Cycle == cyc {
+			r := t.Records[idx]
+			net.Inject(int(r.SrcCore), int(r.DstNode), r.Class, 0)
+			idx++
+		}
+		net.Step()
+	}
+	if idx != len(t.Records) {
+		return core.Result{}, fmt.Errorf("trace: %d records beyond the trace span were not injected", len(t.Records)-idx)
+	}
+	net.Drain(drainLimit)
+	return net.Result(), nil
+}

@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+)
+
+func TestPatternNames(t *testing.T) {
+	want := map[string]Pattern{
+		"UR": UniformRandom{}, "BC": BitComplement{}, "TOR": Tornado{},
+		"TP": Transpose{}, "NBR": Neighbor{},
+	}
+	for label, p := range want {
+		if p.Name() != label {
+			t.Errorf("%T.Name() = %q, want %q", p, p.Name(), label)
+		}
+	}
+	hs := Hotspot{Hot: 3, Fraction: 0.25}
+	if hs.Name() != "HS3@25%" {
+		t.Errorf("hotspot label %q", hs.Name())
+	}
+}
+
+func TestTransposeFallbackNonSquare(t *testing.T) {
+	p := Transpose{}
+	// 48 nodes is not a perfect square: the fallback must stay in range
+	// and remain an involution.
+	for src := 0; src < 48; src++ {
+		d := p.Dest(src, 48, nil)
+		if d < 0 || d >= 48 {
+			t.Fatalf("TP(%d) = %d out of range", src, d)
+		}
+		if p.Dest(d, 48, nil) != src {
+			t.Fatalf("fallback not an involution at %d", src)
+		}
+	}
+}
+
+func TestInjectorRunCompletes(t *testing.T) {
+	cfg := core.DefaultConfig(core.TokenSlot)
+	net, err := core.NewNetwork(cfg, sim.Window{Warmup: 100, Measure: 400, Drain: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(Neighbor{}, 0.03, cfg.Nodes, cfg.CoresPerNode, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := inj.Run(net)
+	if res.Delivered == 0 || res.Unfinished != 0 {
+		t.Fatalf("Run result: %+v", res)
+	}
+}
+
+func TestMultiFlitStop(t *testing.T) {
+	cfg := core.DefaultConfig(core.DHSSetaside)
+	net, err := core.NewNetwork(cfg, sim.ShortWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewMultiFlitInjector(UniformRandom{}, 0.5, 2, cfg.Nodes, cfg.CoresPerNode, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Stop()
+	for i := 0; i < 50; i++ {
+		inj.Tick(net)
+		net.Step()
+	}
+	if inj.MessagesBegun != 0 {
+		t.Fatalf("stopped injector began %d messages", inj.MessagesBegun)
+	}
+}

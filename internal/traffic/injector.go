@@ -1,0 +1,86 @@
+package traffic
+
+import (
+	"fmt"
+
+	"photon/internal/core"
+	"photon/internal/router"
+	"photon/internal/sim"
+)
+
+// Injector drives a network with Bernoulli arrivals: every cycle, every
+// core independently injects a packet with probability Rate (the paper's
+// load axis, packets/cycle/core). Each core owns a private RNG stream so
+// results are reproducible and insensitive to core iteration order.
+type Injector struct {
+	pattern      Pattern
+	rate         float64
+	nodes        int
+	coresPerNode int
+	rngs         []*sim.RNG
+	stopped      bool
+}
+
+// NewInjector builds an injector for the given pattern and per-core rate.
+func NewInjector(pattern Pattern, rate float64, nodes, coresPerNode int, seed uint64) (*Injector, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("traffic: rate %g outside [0,1] packets/cycle/core", rate)
+	}
+	if pattern == nil {
+		return nil, fmt.Errorf("traffic: nil pattern")
+	}
+	cores := nodes * coresPerNode
+	root := sim.NewRNG(seed)
+	rngs := make([]*sim.RNG, cores)
+	for i := range rngs {
+		rngs[i] = root.Fork(uint64(i))
+	}
+	return &Injector{
+		pattern:      pattern,
+		rate:         rate,
+		nodes:        nodes,
+		coresPerNode: coresPerNode,
+		rngs:         rngs,
+	}, nil
+}
+
+// Rate returns the configured per-core injection rate.
+func (in *Injector) Rate() float64 { return in.rate }
+
+// Pattern returns the destination pattern.
+func (in *Injector) Pattern() Pattern { return in.pattern }
+
+// Stop halts further injection (used during the drain phase).
+func (in *Injector) Stop() { in.stopped = true }
+
+// Tick performs one cycle of injections into net. Call it immediately
+// before net.Step().
+func (in *Injector) Tick(net *core.Network) {
+	if in.stopped {
+		return
+	}
+	for c, rng := range in.rngs {
+		if !rng.Bernoulli(in.rate) {
+			continue
+		}
+		src := c / in.coresPerNode
+		dst := in.pattern.Dest(src, in.nodes, rng)
+		net.Inject(c, dst, router.ClassData, 0)
+	}
+}
+
+// Run drives net through its full window (warmup+measure with injection,
+// then drain without) and returns the result. This is the standard
+// open-loop evaluation loop used by every synthetic-workload experiment.
+func (in *Injector) Run(net *core.Network) core.Result {
+	w := net.Window()
+	for cyc := int64(0); cyc < w.Warmup+w.Measure; cyc++ {
+		in.Tick(net)
+		net.Step()
+	}
+	// Drain: stop injecting, let tagged packets finish.
+	for cyc := int64(0); cyc < w.Drain; cyc++ {
+		net.Step()
+	}
+	return net.Result()
+}

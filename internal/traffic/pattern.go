@@ -1,0 +1,144 @@
+// Package traffic provides the synthetic workloads of the evaluation: the
+// paper's three patterns (Uniform Random, Bit Complement, Tornado) plus the
+// standard extras (Transpose, Neighbor, Hotspot) used by the extended
+// sensitivity studies, and a Bernoulli injector that drives a core.Network
+// at a configured load in packets/cycle/core.
+package traffic
+
+import (
+	"fmt"
+
+	"photon/internal/sim"
+)
+
+// Pattern maps a source node to a destination node. Patterns are defined
+// over nodes (the network attachment points of the concentrated S-NUCA
+// layout); every core of a node draws destinations from the same pattern.
+type Pattern interface {
+	// Name is the pattern's CLI/figure label.
+	Name() string
+	// Dest returns the destination node for a packet injected at node src.
+	// rng is used only by randomized patterns.
+	Dest(src, nodes int, rng *sim.RNG) int
+}
+
+// UniformRandom spreads traffic uniformly over all nodes except the source
+// (self-traffic never enters the ring, so including it would dilute load).
+type UniformRandom struct{}
+
+// Name implements Pattern.
+func (UniformRandom) Name() string { return "UR" }
+
+// Dest implements Pattern.
+func (UniformRandom) Dest(src, nodes int, rng *sim.RNG) int {
+	d := rng.Intn(nodes - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// BitComplement sends node i to node (N-1)-i — for power-of-two node counts
+// exactly the bitwise complement of the node id. Every destination has a
+// single sender, the peer-to-peer pattern where the paper shows basic
+// handshake's HOL blocking at its worst.
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "BC" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(src, nodes int, _ *sim.RNG) int {
+	return nodes - 1 - src
+}
+
+// Tornado sends node i to the node half-way (minus one) around the ring:
+// (i + ceil(N/2) - 1) mod N — the classic adversarial pattern for ring
+// topologies, every packet travelling the maximal common distance.
+type Tornado struct{}
+
+// Name implements Pattern.
+func (Tornado) Name() string { return "TOR" }
+
+// Dest implements Pattern.
+func (Tornado) Dest(src, nodes int, _ *sim.RNG) int {
+	return (src + (nodes+1)/2 - 1) % nodes
+}
+
+// Transpose treats the node id as coordinates on a sqrt(N) x sqrt(N) grid
+// and swaps them; node counts that are not perfect squares fall back to a
+// digit-reversal permutation. Used in the extended studies.
+type Transpose struct{}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "TP" }
+
+// Dest implements Pattern.
+func (Transpose) Dest(src, nodes int, _ *sim.RNG) int {
+	side := 1
+	for side*side < nodes {
+		side++
+	}
+	if side*side == nodes {
+		x, y := src%side, src/side
+		return x*side + y
+	}
+	// Fallback: reverse the position within the ring.
+	return (nodes - src) % nodes
+}
+
+// Neighbor sends each node to its immediate downstream neighbor — the
+// friendliest pattern for a unidirectional ring (1-cycle flights for the
+// farthest senders' segment, maximal wave-pipelining).
+type Neighbor struct{}
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "NBR" }
+
+// Dest implements Pattern.
+func (Neighbor) Dest(src, nodes int, _ *sim.RNG) int {
+	return (src + 1) % nodes
+}
+
+// Hotspot sends a fraction of traffic to a single hot node and the rest
+// uniformly — models a contended directory/memory controller.
+type Hotspot struct {
+	// Hot is the hot node id.
+	Hot int
+	// Fraction of traffic addressed to Hot (e.g. 0.2).
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("HS%d@%.0f%%", h.Hot, h.Fraction*100) }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src, nodes int, rng *sim.RNG) int {
+	if src != h.Hot && rng.Bernoulli(h.Fraction) {
+		return h.Hot
+	}
+	return UniformRandom{}.Dest(src, nodes, rng)
+}
+
+// ByName resolves a CLI pattern label.
+func ByName(name string) (Pattern, error) {
+	switch name {
+	case "UR", "ur", "uniform":
+		return UniformRandom{}, nil
+	case "BC", "bc", "bitcomp":
+		return BitComplement{}, nil
+	case "TOR", "tor", "tornado":
+		return Tornado{}, nil
+	case "TP", "tp", "transpose":
+		return Transpose{}, nil
+	case "NBR", "nbr", "neighbor":
+		return Neighbor{}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q (UR, BC, TOR, TP, NBR)", name)
+	}
+}
+
+// PaperPatterns returns the three patterns of Figures 8 and 9, in order.
+func PaperPatterns() []Pattern {
+	return []Pattern{UniformRandom{}, BitComplement{}, Tornado{}}
+}

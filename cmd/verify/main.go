@@ -1,0 +1,76 @@
+// Command verify runs the determinism + conservation battery: every
+// scheme on the paper's three patterns, each point run twice from a
+// pre-recorded traffic tape (bit-reproducibility), checked against the
+// live injector (tape faithfulness), audited for packet conservation
+// mid-flight and after drain, then cross-checked differentially between
+// schemes and between serial and parallel sweep execution.
+//
+// Examples:
+//
+//	verify -quick          # reduced windows, CI-sized battery
+//	verify                 # full battery (longer windows, extra load)
+//	verify -quick -seed 7  # different tape seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photon/internal/check"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced load grid and shorter windows (the CI battery)")
+		seed  = flag.Uint64("seed", 1, "base seed for the traffic tapes")
+		csv   = flag.Bool("csv", false, "emit the per-point table as CSV")
+	)
+	flag.Parse()
+
+	b := check.FullBattery(*seed)
+	if *quick {
+		b = check.QuickBattery(*seed)
+	}
+
+	rep, err := check.Run(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+
+	t := rep.Table()
+	if *csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+
+	for _, c := range rep.Cross {
+		mark := "ok  "
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("%s  %s", mark, c.Name)
+		if c.Detail != "" {
+			fmt.Printf("  (%s)", c.Detail)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	if !rep.Pass() {
+		fails := rep.Failures()
+		fmt.Printf("FAIL: %d violation(s)\n", len(fails))
+		for _, f := range fails {
+			fmt.Println("  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d points, %d cross checks\n", len(rep.Points), len(rep.Cross))
+}

@@ -1,0 +1,123 @@
+// Package check is the simulator's correctness-tooling subsystem: a
+// conservation auditor over core.Accounting snapshots, and a differential
+// battery that replays identical traffic tapes through every scheme,
+// proving run-to-run determinism (via core.Result digests), packet
+// conservation, and serial-vs-parallel sweep equivalence. cmd/verify is
+// its CLI; CI runs it as the one-command regression oracle that perf and
+// refactoring PRs must keep green.
+//
+// The paper's handshake-vs-credit comparison (§V) rests on exact packet
+// accounting — a scheme that silently loses or duplicates packets can
+// "win" any throughput comparison — so the auditor encodes the
+// conservation identities every scheme must satisfy, and the battery
+// checks them at loads below, at, and past saturation.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/core"
+)
+
+// Audit verifies the packet-conservation identities on a snapshot. It
+// returns nil when every identity holds, or an error listing all
+// violations. The identities hold at any cycle (occupancy terms account
+// for packets still owned by the network), so Audit may run mid-flight;
+// the drained-only identities (NACK/retransmit balance) are applied only
+// when Backlog is zero.
+func Audit(a core.Accounting) error {
+	var v []string
+	fail := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	// End-to-end conservation: every injected packet is delivered, still
+	// owned by the network, or was explicitly rejected by a bounded queue.
+	if got := a.Delivered + int64(a.Backlog) + a.QueueRejected; a.Injected != got {
+		fail("injected %d != delivered %d + backlog %d + queue-rejected %d",
+			a.Injected, a.Delivered, a.Backlog, a.QueueRejected)
+	}
+
+	// Occupancy breakdowns must sum to the backlog (each undelivered
+	// packet located exactly once) and to the outstanding count (sender
+	// retention copies included).
+	if got := a.Pipeline + a.Queued + a.InFlight + a.Buffered + int(a.Drops-a.Retransmits); a.Backlog != got {
+		fail("backlog %d != pipeline %d + queued %d + in-flight %d + buffered %d + dropped-outstanding %d",
+			a.Backlog, a.Pipeline, a.Queued, a.InFlight, a.Buffered, a.Drops-a.Retransmits)
+	}
+	if got := a.Pipeline + a.Queued + a.Unacked + a.InFlight + a.Buffered; a.Outstanding != got {
+		fail("outstanding %d != pipeline %d + queued %d + unacked %d + in-flight %d + buffered %d",
+			a.Outstanding, a.Pipeline, a.Queued, a.Unacked, a.InFlight, a.Buffered)
+	}
+	if a.Drops < a.Retransmits {
+		fail("retransmits %d exceed drops %d", a.Retransmits, a.Drops)
+	}
+
+	// Per-channel launch accounting, rolled up to the global counters.
+	var sumLaunch, sumReinj, sumEject, sumNack int64
+	for _, ch := range a.Channels {
+		sumLaunch += ch.Launches
+		sumReinj += ch.Reinjections
+		sumEject += ch.Ejected
+		sumNack += ch.NacksSent
+		// Every launch onto channel h ends ejected, parked in the home
+		// buffer, on the waveguide, or dropped (NACKed). Reinjections
+		// cancel out: each one is both an extra arrival and an extra
+		// departure of the same waveguide.
+		if got := ch.Ejected + int64(ch.Buffered+ch.InFlight) + ch.NacksSent; ch.Launches != got {
+			fail("channel %d: launches %d != ejected %d + buffered %d + in-flight %d + nacks %d",
+				ch.Home, ch.Launches, ch.Ejected, ch.Buffered, ch.InFlight, ch.NacksSent)
+		}
+	}
+	if sumLaunch != a.Launches {
+		fail("per-channel launches %d != global launches %d", sumLaunch, a.Launches)
+	}
+	if sumReinj != a.Circulations {
+		fail("per-channel reinjections %d != global circulations %d", sumReinj, a.Circulations)
+	}
+	if sumNack != a.Drops {
+		fail("per-channel NACKs %d != global drops %d", sumNack, a.Drops)
+	}
+	if remote := a.Delivered - a.LocalDelivered; sumEject != remote {
+		fail("per-channel ejections %d != remote deliveries %d", sumEject, remote)
+	}
+
+	// Scheme-shape identities: counters that must be zero for schemes
+	// lacking the corresponding hardware.
+	if !a.Scheme.Handshake() && a.Drops != 0 {
+		fail("%s has no handshake but recorded %d drops", a.Scheme, a.Drops)
+	}
+	if !a.Scheme.Handshake() && a.Retransmits != 0 {
+		fail("%s has no handshake but recorded %d retransmits", a.Scheme, a.Retransmits)
+	}
+	if !a.Scheme.Circulating() && a.Circulations != 0 {
+		fail("%s does not circulate but recorded %d circulations", a.Scheme, a.Circulations)
+	}
+
+	// Quiescent-only identities: once the network owns nothing (handshake
+	// state included), every NACK must have produced exactly one
+	// retransmission, and every accepted packet (ACKed) must have been
+	// ejected.
+	if a.Outstanding == 0 {
+		if a.Scheme.Handshake() && a.Retransmits != a.Drops {
+			fail("drained but retransmits %d != drops %d", a.Retransmits, a.Drops)
+		}
+		for _, ch := range a.Channels {
+			if a.Scheme.Handshake() && ch.AcksSent != ch.Ejected {
+				fail("channel %d drained but ACKs %d != ejections %d", ch.Home, ch.AcksSent, ch.Ejected)
+			}
+		}
+	}
+
+	if len(v) > 0 {
+		return fmt.Errorf("check: conservation audit failed (%s):\n  %s",
+			a.Scheme, strings.Join(v, "\n  "))
+	}
+	return nil
+}
+
+// AuditNetwork snapshots and audits a live network.
+func AuditNetwork(n *core.Network) error {
+	return Audit(n.Accounting())
+}

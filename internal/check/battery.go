@@ -1,0 +1,389 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"photon/internal/core"
+	"photon/internal/exp"
+	"photon/internal/sim"
+	"photon/internal/stats"
+	"photon/internal/traffic"
+)
+
+// Battery configures one differential verification run. Every (pattern,
+// rate) pair gets a single pre-recorded traffic tape that is replayed
+// through every scheme, so cross-scheme comparisons are over byte-identical
+// offered traffic.
+type Battery struct {
+	// Schemes under test (default: all of them).
+	Schemes []core.Scheme
+	// Patterns under test (default: the paper's UR/BC/TOR).
+	Patterns []traffic.Pattern
+	// Loads returns the load grid for a pattern name.
+	Loads func(pattern string) []float64
+	// Window is the per-run simulation window.
+	Window sim.Window
+	// Seed drives tape generation and network stochastics.
+	Seed uint64
+	// DrainLimit bounds the extra post-window drain before the final
+	// audit. Past saturation the backlog never reaches zero; the audit's
+	// identities hold regardless.
+	DrainLimit int64
+	// Parallel bounds concurrent point verifications (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// QuickBattery is the CI-sized battery: all schemes, the paper's three
+// patterns, one load well below saturation, one near it, and one past it,
+// over a short window. It finishes in a few seconds.
+func QuickBattery(seed uint64) Battery {
+	return Battery{
+		Schemes:  core.Schemes(),
+		Patterns: traffic.PaperPatterns(),
+		Loads: func(pattern string) []float64 {
+			switch pattern {
+			case "TOR":
+				return []float64{0.02, 0.08, 0.30}
+			default: // UR, BC saturate in the 0.13..0.25 region
+				return []float64{0.02, 0.13, 0.30}
+			}
+		},
+		Window:     sim.Window{Warmup: 300, Measure: 1000, Drain: 1000},
+		Seed:       seed,
+		DrainLimit: 20_000,
+	}
+}
+
+// FullBattery covers the paper's quick load grids over the standard short
+// window — the thorough pre-merge variant (tens of seconds).
+func FullBattery(seed uint64) Battery {
+	return Battery{
+		Schemes:  core.Schemes(),
+		Patterns: traffic.PaperPatterns(),
+		Loads: func(pattern string) []float64 {
+			loads := exp.PaperLoads(pattern, true)
+			// Add a firmly past-saturation point; the quick grids stop
+			// near the knee.
+			return append(append([]float64{}, loads...), 0.35)
+		},
+		Window:     sim.ShortWindow(),
+		Seed:       seed,
+		DrainLimit: 60_000,
+	}
+}
+
+func (b Battery) workers() int {
+	if b.Parallel > 0 {
+		return b.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PointReport is the verification verdict for one (scheme, pattern, rate).
+type PointReport struct {
+	Scheme  core.Scheme
+	Pattern string
+	Rate    float64
+
+	// Digest is the run fingerprint (identical across the repeat runs when
+	// Deterministic).
+	Digest uint64
+	// Events is the protocol event count folded into the digest.
+	Events uint64
+
+	Injected  int64
+	Delivered int64
+	// Backlog remaining after the bounded post-run drain (nonzero past
+	// saturation).
+	Backlog int
+
+	// Deterministic: two replays of the tape produced identical
+	// core.Result structs (digest included).
+	Deterministic bool
+	// TapeFaithful: a live-injector run matched the tape replay's digest.
+	TapeFaithful bool
+	// Conservation holds the auditor's verdict ("" = pass).
+	Conservation string
+
+	// Detail carries the first failure description for the report table.
+	Detail string
+}
+
+// Pass reports whether every per-point check succeeded.
+func (p PointReport) Pass() bool {
+	return p.Deterministic && p.TapeFaithful && p.Conservation == ""
+}
+
+// Check is one cross-cutting verification outcome (differential pairs,
+// serial-vs-parallel sweeps).
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is the outcome of a full battery run.
+type Report struct {
+	Points []PointReport
+	Cross  []Check
+}
+
+// Pass reports whether the whole battery is green.
+func (r *Report) Pass() bool {
+	for _, p := range r.Points {
+		if !p.Pass() {
+			return false
+		}
+	}
+	for _, c := range r.Cross {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns every failing point and cross check, flattened into
+// printable lines.
+func (r *Report) Failures() []string {
+	var out []string
+	for _, p := range r.Points {
+		if !p.Pass() {
+			out = append(out, fmt.Sprintf("%s %s %.3f: %s", p.Scheme, p.Pattern, p.Rate, p.Detail))
+		}
+	}
+	for _, c := range r.Cross {
+		if !c.Pass {
+			out = append(out, fmt.Sprintf("%s: %s", c.Name, c.Detail))
+		}
+	}
+	return out
+}
+
+// Table renders the per-point verdicts for cmd/verify.
+func (r *Report) Table() *stats.Table {
+	t := stats.NewTable("determinism + conservation battery",
+		"scheme", "pattern", "rate", "digest", "events", "injected", "delivered", "backlog", "determ", "tape", "conserve")
+	mark := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Scheme.String(), p.Pattern, p.Rate,
+			fmt.Sprintf("%016x", p.Digest), p.Events, p.Injected, p.Delivered, p.Backlog,
+			mark(p.Deterministic), mark(p.TapeFaithful), mark(p.Conservation == ""))
+	}
+	return t
+}
+
+// Run executes the battery: per-point determinism + tape-faithfulness +
+// conservation, then the cross-scheme differential comparison and the
+// serial-vs-parallel sweep equivalence check.
+func Run(b Battery) (*Report, error) {
+	if len(b.Schemes) == 0 {
+		b.Schemes = core.Schemes()
+	}
+	if len(b.Patterns) == 0 {
+		b.Patterns = traffic.PaperPatterns()
+	}
+	if b.Loads == nil {
+		b.Loads = QuickBattery(b.Seed).Loads
+	}
+	if b.Window.Total() == 0 {
+		b.Window = QuickBattery(b.Seed).Window
+	}
+
+	// Pre-record one tape per (pattern, rate); replays share it read-only.
+	type tapeKey struct {
+		pattern string
+		rate    float64
+	}
+	type job struct {
+		scheme  core.Scheme
+		pattern traffic.Pattern
+		rate    float64
+		tape    *traffic.Tape
+	}
+	cfg0 := core.DefaultConfig(b.Schemes[0])
+	tapes := map[tapeKey]*traffic.Tape{}
+	var jobs []job
+	for _, pat := range b.Patterns {
+		for _, rate := range b.Loads(pat.Name()) {
+			tape, err := traffic.RecordTape(pat, rate, cfg0.Nodes, cfg0.CoresPerNode,
+				sim.DeriveSeed(b.Seed, uint64(len(tapes))), b.Window.Warmup+b.Window.Measure)
+			if err != nil {
+				return nil, fmt.Errorf("check: recording %s tape at %.3f: %w", pat.Name(), rate, err)
+			}
+			tapes[tapeKey{pat.Name(), rate}] = tape
+			for _, s := range b.Schemes {
+				jobs = append(jobs, job{scheme: s, pattern: pat, rate: rate, tape: tape})
+			}
+		}
+	}
+
+	reports := make([]PointReport, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, b.workers())
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i], errs[i] = verifyPoint(b, j.scheme, j.pattern, j.rate, j.tape)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("check: %s %s %.3f: %w",
+				jobs[i].scheme, jobs[i].pattern.Name(), jobs[i].rate, err)
+		}
+	}
+	rep := &Report{Points: reports}
+
+	// Differential comparison: over one shared tape, every scheme must see
+	// the same offered traffic, and fully drained schemes must deliver
+	// exactly the same packet count.
+	byTape := map[tapeKey][]PointReport{}
+	for _, p := range reports {
+		k := tapeKey{p.Pattern, p.Rate}
+		byTape[k] = append(byTape[k], p)
+	}
+	for _, pat := range b.Patterns {
+		for _, rate := range b.Loads(pat.Name()) {
+			k := tapeKey{pat.Name(), rate}
+			group := byTape[k]
+			name := fmt.Sprintf("differential %s @ %.3f", k.pattern, k.rate)
+			c := Check{Name: name, Pass: true}
+			wantInjected := int64(len(tapes[k].Entries))
+			for _, p := range group {
+				if p.Injected != wantInjected {
+					c.Pass = false
+					c.Detail = fmt.Sprintf("%s injected %d, tape holds %d entries", p.Scheme, p.Injected, wantInjected)
+				}
+			}
+			for i := 1; i < len(group); i++ {
+				a, bb := group[0], group[i]
+				if a.Backlog == 0 && bb.Backlog == 0 && a.Delivered != bb.Delivered {
+					c.Pass = false
+					c.Detail = fmt.Sprintf("%s delivered %d but %s delivered %d on the same tape",
+						a.Scheme, a.Delivered, bb.Scheme, bb.Delivered)
+				}
+			}
+			rep.Cross = append(rep.Cross, c)
+		}
+	}
+
+	// Serial-vs-parallel sweep equivalence: exp.RunPoints must be a pure
+	// function of its inputs regardless of worker count. One
+	// representative load per pattern (the grid's median) keeps the
+	// mandatory serial leg affordable — whether worker scheduling can
+	// perturb a result does not depend on the offered load.
+	var points []exp.Point
+	for _, pat := range b.Patterns {
+		loads := b.Loads(pat.Name())
+		rate := loads[len(loads)/2]
+		for _, s := range b.Schemes {
+			points = append(points, exp.Point{Scheme: s, Pattern: pat, Rate: rate})
+		}
+	}
+	opts := exp.Options{Window: b.Window, Seed: b.Seed}
+	serialOpts, parallelOpts := opts, opts
+	serialOpts.Parallel = 1
+	parallelOpts.Parallel = 8
+	serial, err := exp.RunPoints(points, serialOpts)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := exp.RunPoints(points, parallelOpts)
+	if err != nil {
+		return nil, err
+	}
+	pc := Check{Name: "serial vs parallel RunPoints", Pass: true}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			pc.Pass = false
+			pc.Detail = fmt.Sprintf("point %d (%s %s %.3f): serial digest %016x != parallel digest %016x",
+				i, points[i].Scheme, points[i].Pattern.Name(), points[i].Rate,
+				serial[i].Digest, parallel[i].Digest)
+			break
+		}
+	}
+	rep.Cross = append(rep.Cross, pc)
+	return rep, nil
+}
+
+// verifyPoint runs one (scheme, tape) pair through the per-point checks.
+func verifyPoint(b Battery, s core.Scheme, pat traffic.Pattern, rate float64, tape *traffic.Tape) (PointReport, error) {
+	p := PointReport{Scheme: s, Pattern: pat.Name(), Rate: rate}
+
+	runTape := func() (core.Result, *core.Network, error) {
+		cfg := core.DefaultConfig(s)
+		cfg.Seed = b.Seed
+		net, err := core.NewNetwork(cfg, b.Window)
+		if err != nil {
+			return core.Result{}, nil, err
+		}
+		res, err := tape.Run(net)
+		return res, net, err
+	}
+
+	res1, _, err := runTape()
+	if err != nil {
+		return p, err
+	}
+	res2, net, err := runTape()
+	if err != nil {
+		return p, err
+	}
+	p.Digest = res2.Digest
+	p.Events = res2.DigestEvents
+	p.Deterministic = reflect.DeepEqual(res1, res2)
+	if !p.Deterministic {
+		p.Detail = fmt.Sprintf("repeat runs diverged: digest %016x vs %016x", res1.Digest, res2.Digest)
+	}
+
+	// Live-injector equivalence: the tape must be a faithful recording.
+	cfg := core.DefaultConfig(s)
+	cfg.Seed = b.Seed
+	liveNet, err := core.NewNetwork(cfg, b.Window)
+	if err != nil {
+		return p, err
+	}
+	inj, err := traffic.NewInjector(pat, rate, cfg.Nodes, cfg.CoresPerNode, tape.Seed)
+	if err != nil {
+		return p, err
+	}
+	liveRes := inj.Run(liveNet)
+	p.TapeFaithful = liveRes.Digest == res2.Digest
+	if !p.TapeFaithful && p.Detail == "" {
+		p.Detail = fmt.Sprintf("live injector digest %016x != tape digest %016x", liveRes.Digest, res2.Digest)
+	}
+
+	// Conservation: audit after the window, then again after a bounded
+	// extra drain (sub-saturation runs reach zero backlog; past-saturation
+	// runs stay backlogged and the identities must hold anyway).
+	if err := AuditNetwork(net); err != nil {
+		p.Conservation = err.Error()
+	}
+	net.Drain(b.DrainLimit)
+	if err := AuditNetwork(net); err != nil && p.Conservation == "" {
+		p.Conservation = err.Error()
+	}
+	if p.Conservation != "" && p.Detail == "" {
+		p.Detail = p.Conservation
+	}
+
+	acct := net.Accounting()
+	p.Injected = acct.Injected
+	p.Delivered = acct.Delivered
+	p.Backlog = acct.Backlog
+	return p, nil
+}

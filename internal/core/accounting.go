@@ -1,0 +1,99 @@
+package core
+
+// Accounting is a packet-conservation snapshot of a network: every counter
+// needed to prove that no packet was created, duplicated or lost by the
+// protocol machinery. internal/check audits these against the conservation
+// identities (Injected == Delivered + Backlog, per-channel launch
+// accounting, handshake NACK/retransmit balance); the snapshot itself
+// lives in core because only the network can observe all the substrates
+// coherently.
+//
+// All counters are cumulative over the whole run (warmup, measurement and
+// drain included); occupancy fields (Backlog, InFlight, Buffered, ...)
+// describe the instant the snapshot was taken, so the identities hold at
+// any cycle, not just after a full drain.
+type Accounting struct {
+	Scheme Scheme
+
+	// Whole-network cumulative counters.
+	Injected       int64 // packets handed to routers by cores
+	Delivered      int64 // packets ejected to destination cores (incl. local)
+	LocalDelivered int64 // deliveries that never entered the ring
+	Launches       int64 // packet launches onto optical channels (retx included)
+	Drops          int64 // receiver-side drops (handshake NACKs)
+	Retransmits    int64 // NACK-triggered re-launches
+	Circulations   int64 // receiver reinjections (DHS with circulation)
+	QueueRejected  int64 // packets discarded by bounded output queues
+
+	// Instantaneous occupancy, broken down by where packets sit. Backlog
+	// locates every undelivered packet exactly once (see Network.Backlog):
+	// Backlog = Pipeline + Queued + InFlight + Buffered + (Drops -
+	// Retransmits). Unacked counts sender retention copies, which overlap
+	// with InFlight/Buffered/Delivered and are therefore not part of the
+	// Backlog sum; Outstanding = Pipeline + Queued + Unacked + InFlight +
+	// Buffered is the quiescence measure Drain stops on.
+	Backlog     int
+	Outstanding int
+	Pipeline    int // electrical injection pipelines
+	Queued      int // output queues (setaside/pending excluded)
+	Unacked     int // sent, awaiting handshake (pending + setaside)
+	InFlight    int // on optical data channels
+	Buffered    int // home input buffers
+
+	Channels []ChannelAccounting
+}
+
+// ChannelAccounting is the per-channel slice of the conservation ledger.
+type ChannelAccounting struct {
+	Home         int
+	Launches     int64 // sender launches onto this channel
+	Reinjections int64 // receiver reinjections (circulation)
+	Ejected      int64 // packets drained from the home buffer to cores
+	AcksSent     int64 // positive handshakes issued by the home
+	NacksSent    int64 // negative handshakes issued by the home
+	InFlight     int   // currently on the waveguide
+	Buffered     int   // currently in the home input buffer
+}
+
+// Accounting snapshots the network's conservation ledger at the current
+// cycle.
+func (n *Network) Accounting() Accounting {
+	a := Accounting{
+		Scheme:         n.cfg.Scheme,
+		Injected:       n.stats.Injected,
+		Delivered:      n.stats.Delivered,
+		LocalDelivered: n.stats.LocalDelivered,
+		Launches:       n.stats.Launches,
+		Drops:          n.stats.Drops,
+		Retransmits:    n.stats.Retransmits,
+		Circulations:   n.stats.Circulations,
+		QueueRejected:  n.stats.QueueRejected,
+		Pipeline:       n.injPipe.Len(),
+	}
+	for _, nd := range n.nodes {
+		for _, q := range nd.queues {
+			a.Queued += q.out.QueueLen()
+			a.Unacked += q.out.Unacked()
+		}
+	}
+	a.Channels = make([]ChannelAccounting, len(n.chans))
+	for i, c := range n.chans {
+		ch := ChannelAccounting{
+			Home:         c.home,
+			Launches:     c.data.Launches(),
+			Reinjections: c.data.Reinjections(),
+			Ejected:      c.in.Ejected(),
+			InFlight:     c.data.InFlight(),
+			Buffered:     c.in.Occupied(),
+		}
+		if c.hs != nil {
+			ch.AcksSent, ch.NacksSent = c.hs.Sent()
+		}
+		a.InFlight += ch.InFlight
+		a.Buffered += ch.Buffered
+		a.Channels[i] = ch
+	}
+	a.Backlog = a.Pipeline + a.Queued + a.InFlight + a.Buffered + int(a.Drops-a.Retransmits)
+	a.Outstanding = a.Pipeline + a.Queued + a.Unacked + a.InFlight + a.Buffered
+	return a
+}

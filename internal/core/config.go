@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"photon/internal/arbiter"
 )
@@ -87,13 +88,30 @@ func DefaultConfig(s Scheme) Config {
 // Cores returns the total number of cores.
 func (c Config) Cores() int { return c.Nodes * c.CoresPerNode }
 
+// Structural size caps enforced by Validate. They are far above anything
+// the paper's studies use (64 nodes, 4 cores); their purpose is to make
+// malformed sweep points fail fast with an error instead of letting
+// NewNetwork attempt a multi-gigabyte allocation (the fuzz targets drive
+// Validate with adversarial values).
+const (
+	MaxNodes        = 1 << 12
+	MaxCoresPerNode = 1 << 8
+	maxDepth        = 1 << 20 // buffers, queues, pipelines
+)
+
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	if c.Nodes < 2 {
 		return fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
 	}
+	if c.Nodes > MaxNodes {
+		return fmt.Errorf("core: node count %d exceeds the structural cap %d", c.Nodes, MaxNodes)
+	}
 	if c.CoresPerNode < 1 {
 		return fmt.Errorf("core: cores per node must be >= 1, got %d", c.CoresPerNode)
+	}
+	if c.CoresPerNode > MaxCoresPerNode {
+		return fmt.Errorf("core: cores per node %d exceeds the structural cap %d", c.CoresPerNode, MaxCoresPerNode)
 	}
 	if c.RoundTrip < 1 || c.Nodes%c.RoundTrip != 0 {
 		return fmt.Errorf("core: round trip %d must be >= 1 and divide node count %d", c.RoundTrip, c.Nodes)
@@ -101,26 +119,29 @@ func (c Config) Validate() error {
 	if c.Scheme < 0 || c.Scheme >= numSchemes {
 		return fmt.Errorf("core: invalid scheme %d", int(c.Scheme))
 	}
-	if c.BufferDepth < 1 {
-		return fmt.Errorf("core: buffer depth must be >= 1, got %d", c.BufferDepth)
+	if c.BufferDepth < 1 || c.BufferDepth > maxDepth {
+		return fmt.Errorf("core: buffer depth must be in [1, %d], got %d", maxDepth, c.BufferDepth)
 	}
 	if (c.Scheme == GHSSetaside || c.Scheme == DHSSetaside) && c.SetasideSize < 1 {
 		return fmt.Errorf("core: setaside schemes need SetasideSize >= 1, got %d", c.SetasideSize)
 	}
+	if c.SetasideSize > maxDepth {
+		return fmt.Errorf("core: setaside size %d exceeds the structural cap %d", c.SetasideSize, maxDepth)
+	}
 	if c.QueueCap < 0 {
 		return fmt.Errorf("core: queue cap must be >= 0, got %d", c.QueueCap)
 	}
-	if c.EjectRate < 1 {
-		return fmt.Errorf("core: eject rate must be >= 1, got %d", c.EjectRate)
+	if c.EjectRate < 1 || c.EjectRate > maxDepth {
+		return fmt.Errorf("core: eject rate must be in [1, %d], got %d", maxDepth, c.EjectRate)
 	}
-	if c.EjectStallProb < 0 || c.EjectStallProb >= 1 {
+	if math.IsNaN(c.EjectStallProb) || c.EjectStallProb < 0 || c.EjectStallProb >= 1 {
 		return fmt.Errorf("core: eject stall probability must be in [0,1), got %g", c.EjectStallProb)
 	}
-	if c.RouterPipeline < 0 {
-		return fmt.Errorf("core: router pipeline must be >= 0, got %d", c.RouterPipeline)
+	if c.RouterPipeline < 0 || c.RouterPipeline > maxDepth {
+		return fmt.Errorf("core: router pipeline must be in [0, %d], got %d", maxDepth, c.RouterPipeline)
 	}
-	if c.EjectLatency < 0 {
-		return fmt.Errorf("core: eject latency must be >= 0, got %d", c.EjectLatency)
+	if c.EjectLatency < 0 || c.EjectLatency > maxDepth {
+		return fmt.Errorf("core: eject latency must be in [0, %d], got %d", maxDepth, c.EjectLatency)
 	}
 	if c.MaxTokenHold < 0 {
 		return fmt.Errorf("core: max token hold must be >= 0, got %d", c.MaxTokenHold)

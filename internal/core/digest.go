@@ -1,0 +1,78 @@
+package core
+
+import "photon/internal/router"
+
+// Run digests give every simulation a single 64-bit fingerprint of its
+// complete protocol history, so that "these two runs did the same thing"
+// becomes a one-word comparison instead of a diff of statistics. The
+// digest is the determinism oracle behind internal/check and cmd/verify:
+// repeated runs of an identical (Config, traffic) pair must produce
+// identical digests, and any protocol change — an extra drop, a token
+// captured one cycle later, a packet delivered out of order — perturbs it
+// with overwhelming probability.
+//
+// Construction: every canonical protocol event (inject, enqueue, launch,
+// accept, drop, reinject, ack, nack, deliver) is hashed individually with
+// FNV-1a over its (cycle, type, packet id, src, dst) tuple, avalanched
+// through a splitmix64-style finalizer, and folded into the digest with
+// commutative combiners (a wrapping sum and an xor, plus the event count).
+// The per-event hash carries the cycle number, so the digest is sensitive
+// to *when* everything happened; the commutative fold makes it insensitive
+// to the order events are observed *within* a cycle — intra-cycle emission
+// order is an artefact of channel iteration in the sequential simulator,
+// not of the modelled hardware, and must not leak into the fingerprint.
+
+// FNV-1a 64-bit parameters (FNV is public domain; see Fowler/Noll/Vo).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// mix64 is the splitmix64 output finalizer: a bijection on uint64 with
+// strong avalanche, used to spread per-event FNV hashes before the
+// commutative fold (raw FNV of similar tuples differs in few bits, which
+// a plain sum would partially cancel).
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fnvWord folds one 64-bit word into an FNV-1a state, little-endian
+// byte-wise so the hash is platform-independent.
+func fnvWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (w >> (8 * i)) & 0xFF
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// eventHash fingerprints one protocol event.
+func eventHash(cycle int64, t EventType, p *router.Packet) uint64 {
+	h := fnvOffset64
+	h = fnvWord(h, uint64(cycle))
+	h = fnvWord(h, uint64(t))
+	h = fnvWord(h, p.ID)
+	h = fnvWord(h, uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
+	return mix64(h)
+}
+
+// runDigest accumulates event hashes with commutative combiners.
+type runDigest struct {
+	sum   uint64 // wrapping sum of event hashes
+	xor   uint64 // xor of event hashes
+	count uint64 // number of events observed
+}
+
+// observe folds one event hash into the digest.
+func (d *runDigest) observe(h uint64) {
+	d.sum += h
+	d.xor ^= h
+	d.count++
+}
+
+// value finalises the digest into the run fingerprint.
+func (d *runDigest) value() uint64 {
+	return mix64(d.sum ^ mix64(d.xor^mix64(d.count)))
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"photon/internal/router"
+)
+
+// TestRunDigestOrderInsensitive: the fold must be commutative — the order
+// events are observed within a cycle is a simulator artefact and must not
+// leak into the fingerprint.
+func TestRunDigestOrderInsensitive(t *testing.T) {
+	hashes := make([]uint64, 64)
+	x := uint64(0xDEADBEEF)
+	for i := range hashes {
+		x = mix64(x + uint64(i))
+		hashes[i] = x
+	}
+	var fwd, rev, shuffled runDigest
+	for _, h := range hashes {
+		fwd.observe(h)
+	}
+	for i := len(hashes) - 1; i >= 0; i-- {
+		rev.observe(hashes[i])
+	}
+	for i := 0; i < len(hashes); i += 2 {
+		shuffled.observe(hashes[i])
+	}
+	for i := 1; i < len(hashes); i += 2 {
+		shuffled.observe(hashes[i])
+	}
+	if fwd.value() != rev.value() || fwd.value() != shuffled.value() {
+		t.Fatalf("digest depends on observation order: %016x / %016x / %016x",
+			fwd.value(), rev.value(), shuffled.value())
+	}
+}
+
+// TestRunDigestCountsMultiplicity: xor alone would cancel duplicated
+// events; the sum/count components must keep A,A,B distinct from B.
+func TestRunDigestCountsMultiplicity(t *testing.T) {
+	a, b := mix64(1), mix64(2)
+	var dup, single runDigest
+	dup.observe(a)
+	dup.observe(a)
+	dup.observe(b)
+	single.observe(b)
+	if dup.value() == single.value() {
+		t.Fatal("duplicated events cancelled out of the digest")
+	}
+}
+
+// TestEventHashSensitivity: every field of the event tuple must perturb
+// the hash.
+func TestEventHashSensitivity(t *testing.T) {
+	pkt := func(id uint64, src, dst int) *router.Packet {
+		return router.NewPacket(id, src, dst, 0)
+	}
+	ref := eventHash(100, EvLaunch, pkt(7, 3, 9))
+	variants := map[string]uint64{
+		"cycle":  eventHash(101, EvLaunch, pkt(7, 3, 9)),
+		"type":   eventHash(100, EvAccept, pkt(7, 3, 9)),
+		"packet": eventHash(100, EvLaunch, pkt(8, 3, 9)),
+		"src":    eventHash(100, EvLaunch, pkt(7, 4, 9)),
+		"dst":    eventHash(100, EvLaunch, pkt(7, 3, 10)),
+	}
+	for field, h := range variants {
+		if h == ref {
+			t.Errorf("changing %s did not change the event hash", field)
+		}
+	}
+}

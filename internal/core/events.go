@@ -27,6 +27,9 @@ const (
 	EvNack
 	// EvDeliver: the packet was ejected to the destination's cores.
 	EvDeliver
+	// EvInject: a core handed the packet to its router (fires before
+	// EvEnqueue; declared last to keep historical event numbering stable).
+	EvInject
 )
 
 func (e EventType) String() string {
@@ -47,6 +50,8 @@ func (e EventType) String() string {
 		return "nack"
 	case EvDeliver:
 		return "deliver"
+	case EvInject:
+		return "inject"
 	default:
 		return "event?"
 	}
@@ -66,8 +71,11 @@ func (n *Network) Trace(hook func(Event)) {
 	n.onEvent = hook
 }
 
-// emit fires the observer if one is installed.
+// emit folds the event into the run digest and fires the observer if one
+// is installed. The digest fold is unconditional: the fingerprint must
+// cover every run, traced or not, or repeat runs could not be compared.
 func (n *Network) emit(t EventType, p *router.Packet) {
+	n.stats.digest.observe(eventHash(n.now, t, p))
 	if n.onEvent != nil {
 		n.onEvent(Event{Cycle: n.now, Type: t, Packet: p})
 	}

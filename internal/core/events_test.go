@@ -10,7 +10,7 @@ import (
 )
 
 // TestEventSequenceCleanDelivery: a single un-contended DHS packet emits
-// exactly enqueue -> launch -> accept -> ack, deliver — in order.
+// exactly inject -> enqueue -> launch -> accept -> ack, deliver — in order.
 func TestEventSequenceCleanDelivery(t *testing.T) {
 	cfg := core.DefaultConfig(core.DHS)
 	cfg.Fairness.Enabled = false
@@ -24,18 +24,18 @@ func TestEventSequenceCleanDelivery(t *testing.T) {
 	net.Inject(4, 9, router.ClassData, 0)
 	net.RunCycles(40)
 
-	want := []core.EventType{core.EvEnqueue, core.EvLaunch, core.EvAccept, core.EvDeliver, core.EvAck}
+	want := []core.EventType{core.EvInject, core.EvEnqueue, core.EvLaunch, core.EvAccept, core.EvDeliver, core.EvAck}
 	// Deliver and Ack can appear in either order (ejection is phase 3,
 	// handshake delivery phase 2 of a later cycle); compare as a multiset
 	// with ordered prefix.
 	if len(seq) != len(want) {
 		t.Fatalf("event sequence %v, want %d events", seq, len(want))
 	}
-	if seq[0] != core.EvEnqueue || seq[1] != core.EvLaunch || seq[2] != core.EvAccept {
+	if seq[0] != core.EvInject || seq[1] != core.EvEnqueue || seq[2] != core.EvLaunch || seq[3] != core.EvAccept {
 		t.Fatalf("prefix wrong: %v", seq)
 	}
 	rest := map[core.EventType]int{}
-	for _, e := range seq[3:] {
+	for _, e := range seq[4:] {
 		rest[e]++
 	}
 	if rest[core.EvDeliver] != 1 || rest[core.EvAck] != 1 {
@@ -110,7 +110,7 @@ func TestEventReinjectCirculation(t *testing.T) {
 }
 
 func TestEventTypeStrings(t *testing.T) {
-	for e := core.EvEnqueue; e <= core.EvDeliver; e++ {
+	for e := core.EvEnqueue; e <= core.EvInject; e++ {
 		if e.String() == "event?" {
 			t.Fatalf("event %d lacks a label", int(e))
 		}

@@ -271,9 +271,14 @@ func (n *Network) Inject(srcCore, dstNode int, class router.Class, tag uint64) *
 	pkt.Class = class
 	pkt.Tag = tag | uint64(srcCore)<<40 // keep the core for local queue routing
 	n.stats.onInjected(pkt)
+	n.emit(EvInject, pkt)
 	n.injPipe.Schedule(n.now+int64(n.cfg.RouterPipeline), pkt)
 	return pkt
 }
+
+// Digest returns the current value of the run's protocol-event
+// fingerprint (finalised into Result.Digest at the end of the run).
+func (n *Network) Digest() uint64 { return n.stats.digest.value() }
 
 // queueOf returns the per-core output queue a packet belongs to.
 func (n *Network) queueOf(pkt *router.Packet) (*nodeState, *queueState) {
@@ -596,9 +601,36 @@ func (n *Network) checkInvariants() {
 	}
 }
 
-// Backlog reports every packet the network still owns: queued, awaiting
-// handshake, in flight, buffered at homes, or in injection pipelines.
+// Backlog reports the exact number of injected-but-undelivered packets
+// the network currently holds, locating each packet exactly once: in an
+// injection pipeline, in an output queue, on a waveguide, in a home input
+// buffer, or dropped with its retransmission still owed (Drops -
+// Retransmits covers both the NACK flight and the awaiting-retransmit
+// states). Sent-but-unACKed retention copies are deliberately *not*
+// counted — the real packet is already located downstream (or delivered,
+// with its ACK still in flight) — so the conservation identity
+// Injected == Delivered + Backlog + QueueRejected holds at every cycle;
+// internal/check audits it.
 func (n *Network) Backlog() int {
+	total := n.injPipe.Len() + int(n.stats.Drops-n.stats.Retransmits)
+	for _, nd := range n.nodes {
+		for _, q := range nd.queues {
+			total += q.out.QueueLen()
+		}
+	}
+	for _, c := range n.chans {
+		total += c.data.InFlight() + c.in.Occupied()
+	}
+	return total
+}
+
+// Outstanding reports everything the network still *owns*, retention
+// copies included: queued, sent-but-unACKed, in flight, buffered at homes,
+// or in injection pipelines. It over-counts packets relative to Backlog
+// (a HoldHead/Setaside sender keeps a copy while the packet flies) but is
+// the correct quiescence predicate: zero means no node holds any protocol
+// state, so Drain stops on it.
+func (n *Network) Outstanding() int {
 	total := n.injPipe.Len()
 	for _, nd := range n.nodes {
 		for _, q := range nd.queues {
@@ -611,13 +643,13 @@ func (n *Network) Backlog() int {
 	return total
 }
 
-// Drain keeps stepping (no new injections) until the backlog is empty or
-// limit cycles elapse; it returns the remaining backlog.
+// Drain keeps stepping (no new injections) until the network is quiescent
+// or limit cycles elapse; it returns the remaining outstanding count.
 func (n *Network) Drain(limit int64) int {
-	for i := int64(0); i < limit && n.Backlog() > 0; i++ {
+	for i := int64(0); i < limit && n.Outstanding() > 0; i++ {
 		n.Step()
 	}
-	return n.Backlog()
+	return n.Outstanding()
 }
 
 // Result finalises and returns the run's measurements.

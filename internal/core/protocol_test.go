@@ -54,12 +54,16 @@ func TestPacketConservation(t *testing.T) {
 			if st.Delivered > st.Injected {
 				t.Fatalf("%v cycle %d: delivered %d exceeds injected %d", s, cyc, st.Delivered, st.Injected)
 			}
-			// Backlog may over-count (a sent-but-unACKed packet is held by
-			// the sender while a copy flies), but it must never
-			// under-count: drain termination depends on that.
-			if int64(net.Backlog()) < st.Injected-st.Delivered {
-				t.Fatalf("%v cycle %d: backlog %d under-counts %d outstanding packets",
+			// Backlog locates every undelivered packet exactly once, so
+			// conservation is an equality at every cycle boundary.
+			if int64(net.Backlog()) != st.Injected-st.Delivered {
+				t.Fatalf("%v cycle %d: backlog %d != %d undelivered packets",
 					s, cyc, net.Backlog(), st.Injected-st.Delivered)
+			}
+			// Outstanding (retention copies included) can only over-count.
+			if net.Outstanding() < net.Backlog() {
+				t.Fatalf("%v cycle %d: outstanding %d under-counts backlog %d",
+					s, cyc, net.Outstanding(), net.Backlog())
 			}
 		}
 		// Everything must drain once injection stops.

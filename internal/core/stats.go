@@ -39,6 +39,10 @@ type Stats struct {
 
 	PerSourceDelivered []int64 // measured deliveries by source node
 	PerSourceInjected  []int64 // measured injections by source node
+
+	// digest fingerprints the run's full protocol event stream (see
+	// digest.go); Network.emit feeds it unconditionally.
+	digest runDigest
 }
 
 // NewStats builds an empty collector for a run over the given window.
@@ -126,6 +130,13 @@ type Result struct {
 	StarvedSources int
 	// Delivered is the number of measured delivered packets.
 	Delivered int64
+	// Digest is the run's protocol-event fingerprint (see digest.go).
+	// Identical (Config, traffic) pairs produce identical digests; any
+	// protocol divergence changes it with overwhelming probability.
+	Digest uint64
+	// DigestEvents is the number of protocol events folded into Digest —
+	// a cheap sanity cross-check when two digests disagree.
+	DigestEvents uint64
 }
 
 // Finish computes the run's Result. measureCycles is the length of the
@@ -144,6 +155,8 @@ func (s *Stats) Finish(scheme Scheme) Result {
 		AvgQueueWait: s.QueueWait.Mean(),
 		Unfinished:   s.InjectedMeasured - s.DeliveredMeasured,
 		Delivered:    s.DeliveredMeasured,
+		Digest:       s.digest.value(),
+		DigestEvents: s.digest.count,
 	}
 	if s.Launches > 0 {
 		res.DropRate = float64(s.Drops) / float64(s.Launches)

@@ -112,6 +112,25 @@ type Replication struct {
 	Latency    stats.MeanVar
 	Throughput stats.MeanVar
 	DropRate   stats.MeanVar
+	// Runs records each replication's seed and full result (digest
+	// included), so any quoted confidence interval can cite the exact
+	// reproducible runs behind it.
+	Runs []ReplicateRun
+}
+
+// ReplicateRun identifies one replication: rerunning the point with Seed
+// must reproduce Result bit-for-bit (same Digest).
+type ReplicateRun struct {
+	Seed   uint64
+	Digest uint64
+	Result core.Result
+}
+
+// ReplicateSeed returns the seed of replication i for a base seed. The
+// derivation is injective in i (see sim.DeriveSeed): no two replications
+// of one base ever share a seed, which TestReplicateSeedDerivation pins.
+func ReplicateSeed(base uint64, i int) uint64 {
+	return sim.DeriveSeed(base, uint64(i))
 }
 
 // Replicate runs a point n times with derived seeds and aggregates. It
@@ -120,7 +139,7 @@ func Replicate(p Point, n int, opts Options) (Replication, error) {
 	var rep Replication
 	for i := 0; i < n; i++ {
 		o := opts
-		o.Seed = opts.Seed + uint64(i)*0x9E3779B9
+		o.Seed = ReplicateSeed(opts.Seed, i)
 		res, err := RunPoint(p, o)
 		if err != nil {
 			return rep, err
@@ -129,6 +148,7 @@ func Replicate(p Point, n int, opts Options) (Replication, error) {
 		rep.Latency.Add(res.AvgLatency)
 		rep.Throughput.Add(res.Throughput)
 		rep.DropRate.Add(res.DropRate)
+		rep.Runs = append(rep.Runs, ReplicateRun{Seed: o.Seed, Digest: res.Digest, Result: res})
 	}
 	return rep, nil
 }

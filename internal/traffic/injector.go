@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 
 	"photon/internal/core"
 	"photon/internal/router"
@@ -22,12 +23,23 @@ type Injector struct {
 }
 
 // NewInjector builds an injector for the given pattern and per-core rate.
+// All parameters are validated so that malformed sweep points fail fast
+// with an error here instead of panicking mid-run (the caps mirror
+// core.Config.Validate's structural limits).
 func NewInjector(pattern Pattern, rate float64, nodes, coresPerNode int, seed uint64) (*Injector, error) {
-	if rate < 0 || rate > 1 {
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("traffic: rate %g outside [0,1] packets/cycle/core", rate)
 	}
 	if pattern == nil {
 		return nil, fmt.Errorf("traffic: nil pattern")
+	}
+	// Two nodes minimum, matching ring.NewGeometry: patterns that exclude
+	// self-traffic (UR) have no destination to draw on a one-node ring.
+	if nodes < 2 || nodes > core.MaxNodes {
+		return nil, fmt.Errorf("traffic: node count %d outside [2, %d]", nodes, core.MaxNodes)
+	}
+	if coresPerNode < 1 || coresPerNode > core.MaxCoresPerNode {
+		return nil, fmt.Errorf("traffic: cores per node %d outside [1, %d]", coresPerNode, core.MaxCoresPerNode)
 	}
 	cores := nodes * coresPerNode
 	root := sim.NewRNG(seed)
@@ -59,13 +71,22 @@ func (in *Injector) Tick(net *core.Network) {
 	if in.stopped {
 		return
 	}
+	in.generate(func(c, dst int) {
+		net.Inject(c, dst, router.ClassData, 0)
+	})
+}
+
+// generate draws one cycle's injections and hands each (core, dst) pair to
+// emit. It is the single source of injection randomness, shared by Tick
+// and by tape recording (tape.go), so a recorded tape is bit-identical to
+// what the live injector would have produced.
+func (in *Injector) generate(emit func(core, dst int)) {
 	for c, rng := range in.rngs {
 		if !rng.Bernoulli(in.rate) {
 			continue
 		}
 		src := c / in.coresPerNode
-		dst := in.pattern.Dest(src, in.nodes, rng)
-		net.Inject(c, dst, router.ClassData, 0)
+		emit(c, in.pattern.Dest(src, in.nodes, rng))
 	}
 }
 

@@ -1,0 +1,137 @@
+package traffic_test
+
+import (
+	"reflect"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+func tapeWindow() sim.Window {
+	return sim.Window{Warmup: 200, Measure: 600, Drain: 600}
+}
+
+// TestTapeMatchesInjector: replaying a recorded tape must be
+// bit-equivalent to driving the network live with the injector the tape
+// was recorded from — same Result, same digest.
+func TestTapeMatchesInjector(t *testing.T) {
+	w := tapeWindow()
+	cfg := core.DefaultConfig(core.DHSSetaside)
+	cfg.Seed = 11
+
+	live, err := core.NewNetwork(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.10, cfg.Nodes, cfg.CoresPerNode, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes := inj.Run(live)
+
+	tape, err := traffic.RecordTape(traffic.UniformRandom{}, 0.10, cfg.Nodes, cfg.CoresPerNode, 77, w.Warmup+w.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tape.Entries) == 0 {
+		t.Fatal("empty tape at 10% load")
+	}
+	replayed, err := core.NewNetwork(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapeRes, err := tape.Run(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRes.Digest != tapeRes.Digest {
+		t.Fatalf("tape digest %016x != live digest %016x", tapeRes.Digest, liveRes.Digest)
+	}
+	if !reflect.DeepEqual(liveRes, tapeRes) {
+		t.Fatalf("tape result diverges from live run:\nlive: %+v\ntape: %+v", liveRes, tapeRes)
+	}
+}
+
+// TestTapeEntriesOrdered: entries come out in nondecreasing cycle order
+// with in-range cores and destinations (the replay loop depends on it).
+func TestTapeEntriesOrdered(t *testing.T) {
+	tape, err := traffic.RecordTape(traffic.Tornado{}, 0.2, 16, 2, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := int64(0)
+	for _, e := range tape.Entries {
+		if e.Cycle < last {
+			t.Fatalf("entry cycle %d after %d", e.Cycle, last)
+		}
+		last = e.Cycle
+		if e.Core < 0 || e.Core >= 32 {
+			t.Fatalf("core %d out of range", e.Core)
+		}
+		if e.Dst < 0 || e.Dst >= 16 {
+			t.Fatalf("dst %d out of range", e.Dst)
+		}
+	}
+}
+
+// TestTapeRunRejectsMismatch: wrong geometry and short tapes are errors,
+// not silent misbehaviour.
+func TestTapeRunRejectsMismatch(t *testing.T) {
+	w := tapeWindow()
+	cfg := core.DefaultConfig(core.TokenSlot)
+
+	short, err := traffic.RecordTape(traffic.UniformRandom{}, 0.05, cfg.Nodes, cfg.CoresPerNode, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := core.NewNetwork(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := short.Run(net); err == nil {
+		t.Fatal("short tape accepted")
+	}
+
+	other, err := traffic.RecordTape(traffic.UniformRandom{}, 0.05, 16, 2, 1, w.Warmup+w.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, err := core.NewNetwork(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Run(net2); err == nil {
+		t.Fatal("geometry-mismatched tape accepted")
+	}
+}
+
+// TestInjectorRejectsMalformed: NewInjector must fail fast on the inputs
+// the fuzz target explores, never panic.
+func TestInjectorRejectsMalformed(t *testing.T) {
+	ur := traffic.UniformRandom{}
+	nan := 0.0
+	nan = nan / nan // quiet NaN without importing math
+	cases := []struct {
+		name         string
+		pattern      traffic.Pattern
+		rate         float64
+		nodes, cores int
+	}{
+		{"negative rate", ur, -0.1, 64, 4},
+		{"rate above 1", ur, 1.5, 64, 4},
+		{"NaN rate", ur, nan, 64, 4},
+		{"nil pattern", nil, 0.1, 64, 4},
+		{"zero nodes", ur, 0.1, 0, 4},
+		{"negative nodes", ur, 0.1, -3, 4},
+		{"huge nodes", ur, 0.1, 1 << 30, 4},
+		{"zero cores", ur, 0.1, 64, 0},
+		{"huge cores", ur, 0.1, 64, 1 << 30},
+	}
+	for _, c := range cases {
+		if _, err := traffic.NewInjector(c.pattern, c.rate, c.nodes, c.cores, 1); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -5,45 +5,151 @@
 // mid-flight and after drain, then cross-checked differentially between
 // schemes and between serial and parallel sweep execution.
 //
+// With -chaos it instead runs the fault-injection battery: every (scheme,
+// fault class, fault rate) triple with recovery enabled, asserting
+// determinism under faults, conservation, quiescence, and zero permanent
+// loss, plus the rate-zero inertness and recovery-off stranding legs.
+//
 // Examples:
 //
 //	verify -quick          # reduced windows, CI-sized battery
 //	verify                 # full battery (longer windows, extra load)
 //	verify -quick -seed 7  # different tape seed
+//	verify -chaos -quick   # fault-injection battery
+//	verify -quick -json    # machine-readable pass/fail summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"photon/internal/check"
 )
 
+// jsonPoint is one per-point verdict in the -json summary. Name carries
+// the point's sub-identity: "pattern@rate" for the standard battery,
+// "class@rate" for the chaos battery.
+type jsonPoint struct {
+	Scheme string `json:"scheme"`
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+	Status string `json:"status"` // "pass" or the first failure detail
+}
+
+type jsonCheck struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+}
+
+type jsonReport struct {
+	Battery string      `json:"battery"` // "standard" or "chaos"
+	Seed    uint64      `json:"seed"`
+	Pass    bool        `json:"pass"`
+	Points  []jsonPoint `json:"points"`
+	Cross   []jsonCheck `json:"cross"`
+}
+
+func status(pass bool, detail string) string {
+	if pass {
+		return "pass"
+	}
+	if detail == "" {
+		detail = "fail"
+	}
+	return detail
+}
+
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced load grid and shorter windows (the CI battery)")
-		seed  = flag.Uint64("seed", 1, "base seed for the traffic tapes")
-		csv   = flag.Bool("csv", false, "emit the per-point table as CSV")
+		quick   = flag.Bool("quick", false, "reduced load grid and shorter windows (the CI battery)")
+		seed    = flag.Uint64("seed", 1, "base seed for the traffic tapes")
+		csv     = flag.Bool("csv", false, "emit the per-point table as CSV")
+		chaos   = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable pass/fail summary")
 	)
 	flag.Parse()
 
-	b := check.FullBattery(*seed)
-	if *quick {
-		b = check.QuickBattery(*seed)
-	}
+	var (
+		jr    jsonReport
+		table interface {
+			WriteCSV(w io.Writer) error
+			WriteText(w io.Writer) error
+		}
+		cross []check.Check
+		pass  bool
+		fails []string
+	)
+	jr.Seed = *seed
 
-	rep, err := check.Run(b)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verify:", err)
-		os.Exit(1)
-	}
-
-	t := rep.Table()
-	if *csv {
-		err = t.WriteCSV(os.Stdout)
+	if *chaos {
+		b := check.QuickChaos(*seed)
+		if !*quick {
+			// The full variant widens the rate grid and the window.
+			b.Rates = []float64{0.001, 0.01, 0.05, 0.10}
+			b.Window.Measure *= 4
+		}
+		rep, err := check.RunChaos(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		jr.Battery = "chaos"
+		for _, p := range rep.Points {
+			jr.Points = append(jr.Points, jsonPoint{
+				Scheme: p.Scheme.String(),
+				Name:   fmt.Sprintf("%s@%.3f", p.Class, p.Rate),
+				Digest: fmt.Sprintf("%016x", p.Digest),
+				Status: status(p.Pass(), p.Detail),
+			})
+		}
+		table, cross, pass, fails = rep.Table(), rep.Cross, rep.Pass(), rep.Failures()
 	} else {
-		err = t.WriteText(os.Stdout)
+		b := check.FullBattery(*seed)
+		if *quick {
+			b = check.QuickBattery(*seed)
+		}
+		rep, err := check.Run(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		jr.Battery = "standard"
+		for _, p := range rep.Points {
+			jr.Points = append(jr.Points, jsonPoint{
+				Scheme: p.Scheme.String(),
+				Name:   fmt.Sprintf("%s@%.3f", p.Pattern, p.Rate),
+				Digest: fmt.Sprintf("%016x", p.Digest),
+				Status: status(p.Pass(), p.Detail),
+			})
+		}
+		table, cross, pass, fails = rep.Table(), rep.Cross, rep.Pass(), rep.Failures()
+	}
+
+	if *jsonOut {
+		jr.Pass = pass
+		for _, c := range cross {
+			jr.Cross = append(jr.Cross, jsonCheck{Name: c.Name, Status: status(c.Pass, c.Detail)})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jr); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		if !pass {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var err error
+	if *csv {
+		err = table.WriteCSV(os.Stdout)
+	} else {
+		err = table.WriteText(os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
@@ -51,7 +157,7 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, c := range rep.Cross {
+	for _, c := range cross {
 		mark := "ok  "
 		if !c.Pass {
 			mark = "FAIL"
@@ -64,13 +170,12 @@ func main() {
 	}
 	fmt.Println()
 
-	if !rep.Pass() {
-		fails := rep.Failures()
+	if !pass {
 		fmt.Printf("FAIL: %d violation(s)\n", len(fails))
 		for _, f := range fails {
 			fmt.Println("  -", f)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("PASS: %d points, %d cross checks\n", len(rep.Points), len(rep.Cross))
+	fmt.Printf("PASS: %d points, %d cross checks\n", len(jr.Points), len(cross))
 }

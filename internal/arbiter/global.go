@@ -35,8 +35,15 @@ type GlobalToken struct {
 	// reimbursements via the onHome callback.
 	Credits int
 
+	// lost marks the token destroyed in the waveguide (fault injection):
+	// it no longer circulates and can never be captured until the home
+	// node's watchdog regenerates it. Physically the loop simply goes
+	// silent — no light on the arbitration wavelength.
+	lost bool
+
 	captures   int64
 	homePasses int64
+	regens     int64
 }
 
 // NewGlobalToken returns a free token parked at the home position of a loop
@@ -54,6 +61,42 @@ func (t *GlobalToken) Held() (offset int, held bool) {
 // Captures reports how many times the token has been captured.
 func (t *GlobalToken) Captures() int64 { return t.captures }
 
+// Lost reports whether the token is currently destroyed.
+func (t *GlobalToken) Lost() bool { return t.lost }
+
+// Regenerations reports how many times the home node re-emitted the token.
+func (t *GlobalToken) Regenerations() int64 { return t.regens }
+
+// Invalidate destroys a free circulating token (fault injection). A held
+// token cannot be invalidated — a holder's token is latched electrically
+// at the capturing node, not travelling the waveguide — and attempting to
+// is a caller bug.
+func (t *GlobalToken) Invalidate() {
+	if t.holder >= 0 {
+		panic("arbiter: invalidating a held global token")
+	}
+	t.lost = true
+}
+
+// Regenerate re-emits a lost token from the home position. This is the
+// home node's watchdog action after a bounded silence window; the
+// duplicate-token guard makes a spurious firing safe: if the token is not
+// actually lost (still circulating, or parked at a holder — the watchdog
+// merely failed to observe it), Regenerate refuses and returns false, so
+// two tokens can never coexist on the loop. Physically the guard is the
+// home node's epoch filter: a re-emission is tagged with a flipped epoch
+// bit and the original, had it survived, would be absorbed at home on its
+// next pass.
+func (t *GlobalToken) Regenerate() bool {
+	if !t.lost {
+		return false
+	}
+	t.lost = false
+	t.pos = 0
+	t.regens++
+	return true
+}
+
 // HomePasses reports how many times the token has swept past the home node.
 func (t *GlobalToken) HomePasses() int64 { return t.homePasses }
 
@@ -61,9 +104,10 @@ func (t *GlobalToken) HomePasses() int64 { return t.homePasses }
 // NodesPerCycle offsets in order. onHome fires when the sweep crosses the
 // home position (offset 0) — Token Channel reimburses freed credits there.
 // capture is consulted for every non-home offset; the first true parks the
-// token at that offset and ends the sweep. A held token does not move.
+// token at that offset and ends the sweep. A held or lost token does not
+// move.
 func (t *GlobalToken) Advance(capture CaptureFunc, onHome func()) {
-	if t.holder >= 0 {
+	if t.holder >= 0 || t.lost {
 		return
 	}
 	for i := 0; i < t.perCycle; i++ {

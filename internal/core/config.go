@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"photon/internal/arbiter"
+	"photon/internal/fault"
 )
 
 // Config fully describes one simulated network. The zero value is not
@@ -60,6 +61,65 @@ type Config struct {
 	// Seed drives every stochastic element (ejection stalls; traffic
 	// sources fork from it by convention).
 	Seed uint64
+
+	// Fault configures the optical fault injector (internal/fault). The
+	// zero value leaves the substrate perfect; with Fault.Seed == 0 the
+	// fault streams derive from the network Seed.
+	Fault fault.Config
+	// Recovery enables and tunes the protocol-level fault recovery
+	// machinery (retransmit timeouts, token-regeneration watchdog). It is
+	// independent of Fault so tests can demonstrate both the recovery
+	// (faults + recovery) and the stranding (faults alone) behaviours.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig tunes the fault-recovery protocol. All windows are in
+// cycles; zeros select defaults derived from the loop round trip R.
+type RecoveryConfig struct {
+	// Enabled arms sender retransmit timers and home watchdogs. With no
+	// faults configured the machinery is provably inert: timers are always
+	// answered before their deadline and watchdogs always observe token
+	// activity, so run digests are bit-identical to recovery-off runs.
+	Enabled bool
+	// RetxTimeout is the base sender timeout: cycles after a launch with
+	// no ACK/NACK before the sender assumes the answer (or the packet) was
+	// lost and retransmits. 0 derives 2*(R+2), comfortably above the fixed
+	// R+1 answer delay so a healthy handshake can never time out.
+	RetxTimeout int
+	// RetxBackoffCap caps the exponential backoff: the effective timeout
+	// is RetxTimeout << min(consecutiveTimeouts, cap). 0 derives 4.
+	RetxBackoffCap int
+	// WatchdogWindow is how many cycles of arbitration silence (no token
+	// pass and no arrival at home) a globally arbitrated channel tolerates
+	// before the home node regenerates the token. 0 derives 4R+8, above
+	// the longest healthy silence (a capture at the far side of the loop
+	// followed by the first flit's flight). The duplicate-token guard in
+	// the arbiter makes even a misjudged firing safe.
+	WatchdogWindow int
+}
+
+// retxTimeoutBase resolves the sender timeout default.
+func (c Config) retxTimeoutBase() int64 {
+	if c.Recovery.RetxTimeout > 0 {
+		return int64(c.Recovery.RetxTimeout)
+	}
+	return int64(2 * (c.RoundTrip + 2))
+}
+
+// retxBackoffCap resolves the backoff-shift cap default.
+func (c Config) retxBackoffCap() int {
+	if c.Recovery.RetxBackoffCap > 0 {
+		return c.Recovery.RetxBackoffCap
+	}
+	return 4
+}
+
+// watchdogWindow resolves the token-watchdog silence window default.
+func (c Config) watchdogWindow() int64 {
+	if c.Recovery.WatchdogWindow > 0 {
+		return int64(c.Recovery.WatchdogWindow)
+	}
+	return int64(4*c.RoundTrip + 8)
 }
 
 // DefaultConfig returns the paper's evaluation configuration for a scheme:
@@ -145,6 +205,29 @@ func (c Config) Validate() error {
 	}
 	if c.MaxTokenHold < 0 {
 		return fmt.Errorf("core: max token hold must be >= 0, got %d", c.MaxTokenHold)
+	}
+	// Fault rates are validated whenever the block is enabled — NaN or
+	// out-of-[0,1] rates must fail here, not surface as skewed Bernoulli
+	// draws deep in a run (mirrors the EjectStallProb check above).
+	if c.Fault.Enabled {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Recovery.RetxTimeout < 0 || c.Recovery.RetxTimeout > maxDepth {
+		return fmt.Errorf("core: retransmit timeout must be in [0, %d], got %d", maxDepth, c.Recovery.RetxTimeout)
+	}
+	if c.Recovery.Enabled && c.Recovery.RetxTimeout > 0 && c.Recovery.RetxTimeout <= c.RoundTrip+1 {
+		// A handshake answer arrives exactly R+1 cycles after launch; a
+		// timeout at or below that would fire on every healthy send.
+		return fmt.Errorf("core: retransmit timeout %d must exceed the handshake answer delay R+1 = %d",
+			c.Recovery.RetxTimeout, c.RoundTrip+1)
+	}
+	if c.Recovery.RetxBackoffCap < 0 || c.Recovery.RetxBackoffCap > 32 {
+		return fmt.Errorf("core: retransmit backoff cap must be in [0, 32], got %d", c.Recovery.RetxBackoffCap)
+	}
+	if c.Recovery.WatchdogWindow < 0 || c.Recovery.WatchdogWindow > maxDepth {
+		return fmt.Errorf("core: watchdog window must be in [0, %d], got %d", maxDepth, c.Recovery.WatchdogWindow)
 	}
 	return nil
 }

@@ -58,6 +58,17 @@ func eventHash(cycle int64, t EventType, p *router.Packet) uint64 {
 	return mix64(h)
 }
 
+// metaHash fingerprints one packet-less protocol event (fault-injection
+// kinds); aux takes the slot a packet's identity words would occupy.
+func metaHash(cycle int64, t EventType, aux uint64) uint64 {
+	h := fnvOffset64
+	h = fnvWord(h, uint64(cycle))
+	h = fnvWord(h, uint64(t))
+	h = fnvWord(h, aux)
+	h = fnvWord(h, ^uint64(0)) // no src/dst word; a sentinel keeps the shape distinct
+	return mix64(h)
+}
+
 // runDigest accumulates event hashes with commutative combiners.
 type runDigest struct {
 	sum   uint64 // wrapping sum of event hashes

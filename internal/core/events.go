@@ -28,8 +28,30 @@ const (
 	// EvDeliver: the packet was ejected to the destination's cores.
 	EvDeliver
 	// EvInject: a core handed the packet to its router (fires before
-	// EvEnqueue; declared last to keep historical event numbering stable).
+	// EvEnqueue; declared last among the seed events to keep historical
+	// event numbering stable).
 	EvInject
+
+	// Fault-injection events (appended after EvInject for the same
+	// numbering-stability reason; none of them can fire on a fault-free
+	// run, so seed digests are untouched).
+
+	// EvFault: the injector destroyed something — Aux encodes the fault
+	// class and the channel/node element (see faultAux). For data faults
+	// the discarded packet is attached; token/pulse/stall faults are
+	// packet-less.
+	EvFault
+	// EvTimeout: a sender's retransmit timer expired; the attached packet
+	// is marked for retransmission.
+	EvTimeout
+	// EvTokenRegen: a home node regenerated a lost arbitration token
+	// (global watchdog re-emission, or a slot credit reclaimed at its
+	// nominal expiry window). Aux is the home id.
+	EvTokenRegen
+	// EvDupDrop: the home node recognised the arrival as a duplicate of an
+	// already-accepted packet (its ACK had been lost) and discarded it,
+	// re-issuing the ACK.
+	EvDupDrop
 )
 
 func (e EventType) String() string {
@@ -52,16 +74,27 @@ func (e EventType) String() string {
 		return "deliver"
 	case EvInject:
 		return "inject"
+	case EvFault:
+		return "fault"
+	case EvTimeout:
+		return "timeout"
+	case EvTokenRegen:
+		return "token-regen"
+	case EvDupDrop:
+		return "dup-drop"
 	default:
 		return "event?"
 	}
 }
 
-// Event is one protocol observation.
+// Event is one protocol observation. Packet is nil for the packet-less
+// fault events (token/pulse/stall EvFault, EvTokenRegen), whose Aux field
+// carries the element instead.
 type Event struct {
 	Cycle  int64
 	Type   EventType
 	Packet *router.Packet
+	Aux    uint64
 }
 
 // Trace installs an event observer on the network. The hook fires inline
@@ -78,5 +111,15 @@ func (n *Network) emit(t EventType, p *router.Packet) {
 	n.stats.digest.observe(eventHash(n.now, t, p))
 	if n.onEvent != nil {
 		n.onEvent(Event{Cycle: n.now, Type: t, Packet: p})
+	}
+}
+
+// emitMeta is emit for packet-less events: the digest folds the aux word
+// where a packet's identity would go, so token and stall faults are just
+// as canonical — and just as digest-visible — as packet events.
+func (n *Network) emitMeta(t EventType, aux uint64) {
+	n.stats.digest.observe(metaHash(n.now, t, aux))
+	if n.onEvent != nil {
+		n.onEvent(Event{Cycle: n.now, Type: t, Aux: aux})
 	}
 }

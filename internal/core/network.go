@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"photon/internal/arbiter"
+	"photon/internal/fault"
 	"photon/internal/flow"
 	"photon/internal/ring"
 	"photon/internal/router"
@@ -27,8 +29,10 @@ import (
 //
 //  1. optical arrivals at home nodes (accept / drop+NACK / reinject)
 //  2. handshake pulses reach senders (ACK frees, NACK arms retransmit)
+//     2b. retransmit timers expire (recovery only; after pulse delivery so
+//     an answer arriving exactly at the deadline wins over the timeout)
 //  3. ejection from home buffers to cores (frees credits)
-//  4. token motion and capture
+//  4. token motion and capture (watchdog regeneration first)
 //  5. launches onto data channels
 //  6. electrical injection pipeline delivers new packets to output queues
 //  7. invariant checks
@@ -59,6 +63,25 @@ type Network struct {
 	onEvent func(Event)
 
 	injPipe *sim.DelayLine[*router.Packet]
+
+	// Fault injection and recovery. faults is nil on fault-free runs —
+	// every hook in the hot path is gated on that nil check, so the
+	// fault-free cycle costs nothing extra.
+	faults     *fault.Injector
+	recoveryOn bool
+	retxBase   int64 // sender timeout base (cycles)
+	backoffCap int   // max backoff shift
+	watchdog   int64 // global-token silence window (cycles)
+	onTimeout  func(*router.Packet)
+
+	// orphans counts logical packets whose only live copy was destroyed
+	// (NACK-dropped awaiting retransmit, or fault-discarded with a sender
+	// retention copy); dupsInFlight counts extra copies of already-accepted
+	// packets launched by timeout recovery. Both keep Backlog exact under
+	// faults; on fault-free runs orphans == Drops - Retransmits and
+	// dupsInFlight == 0.
+	orphans      int
+	dupsInFlight int
 }
 
 // nodeState is the electrical side of one ring node.
@@ -101,6 +124,18 @@ type channel struct {
 	// holdCount counts consecutive sends under the current global grab.
 	holdCount int
 
+	// Fault-injection state. lastActivity is the last cycle the home node
+	// observed arbitration life on a global channel (a token pass or a
+	// data arrival) — the watchdog's silence reference. regen (Token Slot
+	// under fault injection only) schedules the reclaim of a credit that
+	// left home aboard a token that died, at the token's nominal expiry
+	// window. faultDiscards counts data flits destroyed on arrival;
+	// dupsDiscarded counts recognised duplicate arrivals.
+	lastActivity  int64
+	regen         *sim.DelayLine[int64]
+	faultDiscards int64
+	dupsDiscarded int64
+
 	capture arbiter.CaptureFunc
 	gate    func() bool
 	onHome  func()
@@ -128,6 +163,23 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 		stats:   NewStats(window, cfg.Nodes, cfg.Cores()),
 		rng:     sim.NewRNG(cfg.Seed),
 		injPipe: sim.NewDelayLine[*router.Packet](cfg.RouterPipeline + 2),
+	}
+	if cfg.Fault.Enabled {
+		fcfg := cfg.Fault
+		if fcfg.Seed == 0 {
+			fcfg.Seed = sim.DeriveSeed(cfg.Seed, faultSeedStream)
+		}
+		n.faults = fault.NewInjector(fcfg, cfg.Nodes)
+	}
+	if cfg.Recovery.Enabled {
+		n.recoveryOn = true
+		n.retxBase = cfg.retxTimeoutBase()
+		n.backoffCap = cfg.retxBackoffCap()
+		n.watchdog = cfg.watchdogWindow()
+		n.onTimeout = func(pkt *router.Packet) {
+			n.stats.TimeoutRetransmits++
+			n.emit(EvTimeout, pkt)
+		}
 	}
 
 	n.nodes = make([]*nodeState, cfg.Nodes)
@@ -170,10 +222,45 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 		if cfg.Scheme.Handshake() {
 			c.hs = ring.NewHandshakeChannel(geom)
 		}
+		if n.faults != nil {
+			if c.hs != nil {
+				c.hs.SetLoss(n.pulseLoss(c))
+			}
+			if c.sc != nil {
+				c.regen = sim.NewDelayLine[int64](cfg.RoundTrip + 2)
+			}
+		}
 		n.chans[h] = c
 		n.wireChannel(c)
 	}
 	return n, nil
+}
+
+// faultSeedStream is the DeriveSeed stream id reserved for the fault
+// injector when Fault.Seed is left 0 (derive from the network seed).
+const faultSeedStream = 0xFA017
+
+// faultAux encodes a packet-less fault event's (class, element) pair into
+// the digest aux word.
+func faultAux(cl fault.Class, element int) uint64 {
+	return uint64(cl)<<32 | uint64(uint32(element))
+}
+
+// pulseLoss builds channel c's handshake-pulse fault filter.
+func (n *Network) pulseLoss(c *channel) ring.LossFunc {
+	return func(now int64, a ring.Ack) bool {
+		if !n.faults.KillPulse(c.home, now) {
+			return false
+		}
+		n.stats.FaultsInjected++
+		if a.Positive {
+			n.stats.AcksLost++
+		} else {
+			n.stats.NacksLost++
+		}
+		n.emitMeta(EvFault, faultAux(fault.PulseLoss, c.home))
+		return true
+	}
 }
 
 // wireChannel pre-builds the per-channel closures so the hot loop performs
@@ -182,6 +269,11 @@ func (n *Network) wireChannel(c *channel) {
 	c.capture = func(off int) bool {
 		id := n.geom.NodeAt(c.home, off)
 		nd := n.nodes[id]
+		if n.faults != nil && n.faults.Stalled(id) {
+			// Resonator drift: the node's rings are off-channel and cannot
+			// divert the token, however badly it wants one.
+			return false
+		}
 		if nd.wantCount[c.home] == 0 {
 			return false
 		}
@@ -212,11 +304,19 @@ func (n *Network) wireChannel(c *channel) {
 	switch {
 	case c.sc != nil: // Token Slot: emission gated on credits.
 		c.gate = func() bool {
-			if c.sc.CanEmit() {
-				c.sc.Emit()
-				return true
+			if !c.sc.CanEmit() {
+				return false
 			}
-			return false
+			c.sc.Emit()
+			if n.faults != nil && n.faults.KillToken(c.home, n.now) {
+				// The token dies leaving home with a credit aboard; the
+				// credit is stranded until the watchdog reclaims it at the
+				// token's nominal expiry window (recovery enabled), or
+				// forever (recovery disabled — a real availability loss).
+				n.tokenFault(c)
+				return false
+			}
+			return true
 		}
 		c.expire = c.sc.Expire
 	case n.cfg.Scheme.Circulating(): // DHS-cir: reinjection suppresses.
@@ -225,14 +325,36 @@ func (n *Network) wireChannel(c *channel) {
 				c.suppress = false
 				return false
 			}
+			if n.faults != nil && n.faults.KillToken(c.home, n.now) {
+				n.tokenFault(c)
+				return false
+			}
 			return true
 		}
 	default: // DHS: a token every cycle, unconditionally.
-		c.gate = func() bool { return true }
+		c.gate = func() bool {
+			if n.faults != nil && n.faults.KillToken(c.home, n.now) {
+				n.tokenFault(c)
+				return false
+			}
+			return true
+		}
 	}
 
 	if c.rc != nil {
 		c.onHome = c.rc.PassHome
+	}
+}
+
+// tokenFault accounts a distributed-token (slot) death and, with recovery
+// on, schedules the stranded credit's reclaim for the cycle the token
+// would nominally have expired back at home (age R+1) — the earliest
+// moment the home node can *know* the token is not coming back.
+func (n *Network) tokenFault(c *channel) {
+	n.stats.FaultsInjected++
+	n.emitMeta(EvFault, faultAux(fault.TokenLoss, c.home))
+	if c.sc != nil && n.recoveryOn && c.regen != nil {
+		c.regen.Schedule(n.now+int64(n.cfg.RoundTrip)+1, n.now)
 	}
 }
 
@@ -290,11 +412,20 @@ func (n *Network) queueOf(pkt *router.Packet) (*nodeState, *queueState) {
 // Step advances the network by one cycle, executing the seven phases.
 func (n *Network) Step() {
 	now := n.now
+	if n.faults != nil {
+		n.faults.BeginCycle(now, func(node int) {
+			n.stats.FaultsInjected++
+			n.emitMeta(EvFault, faultAux(fault.NodeStall, node))
+		})
+	}
 	for _, c := range n.chans {
 		n.phaseArrive(c, now)
 	}
 	for _, c := range n.chans {
 		n.phaseHandshake(c, now)
+	}
+	if n.recoveryOn {
+		n.phaseTimeouts(now)
 	}
 	for _, c := range n.chans {
 		n.phaseEject(c, now)
@@ -326,21 +457,33 @@ func (n *Network) phaseArrive(c *channel, now int64) {
 	if !ok {
 		return
 	}
+	if c.glob != nil {
+		// Any arrival proves the arbitration loop is alive (someone held
+		// the token recently) — watchdog activity.
+		c.lastActivity = now
+	}
+	if n.faults != nil && n.faults.KillData(c.home, now) {
+		n.dataFault(c, pkt)
+		return
+	}
 	switch {
 	case c.rc != nil:
 		must(c.rc.Arrive())
 		if !c.in.Accept(pkt) {
 			panic("core: credit-guaranteed arrival rejected by home buffer (token channel)")
 		}
+		pkt.AcceptedAt = now
 		n.emit(EvAccept, pkt)
 	case c.sc != nil:
 		must(c.sc.Arrive())
 		if !c.in.Accept(pkt) {
 			panic("core: credit-guaranteed arrival rejected by home buffer (token slot)")
 		}
+		pkt.AcceptedAt = now
 		n.emit(EvAccept, pkt)
 	case n.cfg.Scheme.Circulating():
 		if c.in.Accept(pkt) {
+			pkt.AcceptedAt = now
 			n.emit(EvAccept, pkt)
 		} else {
 			pkt.Circulations++
@@ -353,14 +496,85 @@ func (n *Network) phaseArrive(c *channel, now int64) {
 		}
 	default: // handshake with ACK/NACK
 		off := n.geom.Offset(c.home, pkt.Src)
+		if pkt.AcceptedAt >= 0 {
+			// Duplicate of an already-accepted packet: its ACK was lost and
+			// the sender's timeout re-sent a copy. The home's dedup registry
+			// recognises the id, discards the copy, and repeats the ACK.
+			n.dupsInFlight--
+			if n.dupsInFlight < 0 {
+				panic("core: negative duplicate-in-flight count")
+			}
+			c.dupsDiscarded++
+			n.stats.DupsDiscarded++
+			n.emit(EvDupDrop, pkt)
+			c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: true})
+			return
+		}
 		accepted := c.in.Accept(pkt)
 		if accepted {
+			pkt.AcceptedAt = now
 			n.emit(EvAccept, pkt)
 		} else {
 			n.stats.Drops++
+			n.orphans++
 			n.emit(EvDrop, pkt)
 		}
 		c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: accepted})
+	}
+}
+
+// dataFault applies a data-loss fault to an arriving flit: the home cannot
+// read it (header included), so it is discarded with no handshake answer.
+// What happens to the *packet* depends on who still remembers it.
+func (n *Network) dataFault(c *channel, pkt *router.Packet) {
+	n.stats.FaultsInjected++
+	c.faultDiscards++
+	n.emit(EvFault, pkt)
+	// Credit schemes reserved a buffer slot for this arrival; the slot is
+	// claimed and immediately freed so the credit ledger stays exact (the
+	// credit travels home through the usual reimbursement path).
+	if c.rc != nil {
+		must(c.rc.Arrive())
+		must(c.rc.Eject())
+	}
+	if c.sc != nil {
+		must(c.sc.Arrive())
+		must(c.sc.Eject())
+	}
+	switch {
+	case pkt.AcceptedAt >= 0:
+		// A duplicate copy died; the real packet is safe downstream.
+		n.dupsInFlight--
+		if n.dupsInFlight < 0 {
+			panic("core: negative duplicate-in-flight count")
+		}
+	case n.cfg.Scheme.SendPolicy() == router.FireAndForget:
+		// No sender retention and no receiver copy: the packet is gone.
+		// Credits and circulation cannot recover from data loss — the
+		// paper-side argument for handshake robustness, made measurable.
+		n.stats.Lost++
+	default:
+		// The sender still holds a retention copy; its retransmit timeout
+		// will re-send (recovery on) or strand it visibly (recovery off).
+		n.orphans++
+	}
+}
+
+// phaseTimeouts expires armed retransmit timers (recovery only). It runs
+// after phaseHandshake by contract: an answer delivered in this very cycle
+// has already resolved its entry, so a timer never fires against an
+// answer that actually arrived — including one arriving exactly at the
+// deadline cycle.
+func (n *Network) phaseTimeouts(now int64) {
+	for _, nd := range n.nodes {
+		for _, q := range nd.queues {
+			if q.out.Unacked() == 0 {
+				continue
+			}
+			if q.out.ExpireTimeouts(now, n.onTimeout) > 0 {
+				n.updateQueueWant(nd, q)
+			}
+		}
 	}
 }
 
@@ -428,10 +642,43 @@ func (n *Network) phaseTokens(c *channel, now int64) {
 		}
 	}
 	if c.glob != nil {
+		if n.faults != nil && !c.glob.Lost() {
+			if _, held := c.glob.Held(); !held && n.faults.KillToken(c.home, now) {
+				// The free circulating token dies in the waveguide.
+				c.glob.Invalidate()
+				n.stats.FaultsInjected++
+				n.emitMeta(EvFault, faultAux(fault.TokenLoss, c.home))
+			}
+		}
+		if n.recoveryOn && now-c.lastActivity > n.watchdog {
+			// Watchdog: the home node has seen neither a token pass nor an
+			// arrival for a full silence window — re-emit the token. The
+			// arbiter's duplicate-token guard refuses if the token is in
+			// fact alive (e.g. parked at a holder the home cannot observe),
+			// so a misjudged firing is harmless.
+			if c.glob.Regenerate() {
+				n.stats.TokensRegenerated++
+				n.emitMeta(EvTokenRegen, uint64(c.home))
+			}
+			c.lastActivity = now // re-arm the window either way
+		}
 		if _, held := c.glob.Held(); !held {
+			before := c.glob.HomePasses()
 			c.glob.Advance(c.capture, c.onHome)
+			if c.glob.HomePasses() != before {
+				c.lastActivity = now
+			}
 		}
 		return
+	}
+	if c.regen != nil {
+		// Credits stranded aboard dead slot tokens come back at the
+		// token's nominal expiry window.
+		for range c.regen.PopDue(now) {
+			c.expire()
+			n.stats.TokensRegenerated++
+			n.emitMeta(EvTokenRegen, uint64(c.home))
+		}
 	}
 	c.slot.Advance(now, c.gate, c.capture, c.expire)
 }
@@ -460,6 +707,13 @@ func (n *Network) phaseLaunch(now int64) {
 			continue
 		}
 		nd := n.nodes[n.geom.NodeAt(c.home, off)]
+		if n.faults != nil && n.faults.Stalled(nd.id) {
+			// Resonator drift hit the holder mid-grab: it cannot modulate,
+			// so it releases the token rather than sit on it silently.
+			c.glob.Release()
+			nd.holding = -1
+			continue
+		}
 		canHold := n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold
 		var (
 			q   *queueState
@@ -526,6 +780,19 @@ func (n *Network) launch(nd *nodeState, q *queueState, c *channel, pkt *router.P
 	n.stats.Launches++
 	if retx {
 		n.stats.Retransmits++
+		if pkt.AcceptedAt >= 0 {
+			// Timeout re-send of a packet the home already accepted (the
+			// ACK died): this copy is a duplicate the home will discard.
+			n.dupsInFlight++
+		} else {
+			n.orphans--
+			if n.orphans < 0 {
+				panic("core: negative orphan count")
+			}
+		}
+	}
+	if n.recoveryOn && q.out.Policy() != router.FireAndForget {
+		q.out.Arm(pkt, n.now, n.retxBase, n.backoffCap)
 	}
 	n.emit(EvLaunch, pkt)
 	n.updateQueueWant(nd, q)
@@ -604,15 +871,19 @@ func (n *Network) checkInvariants() {
 // Backlog reports the exact number of injected-but-undelivered packets
 // the network currently holds, locating each packet exactly once: in an
 // injection pipeline, in an output queue, on a waveguide, in a home input
-// buffer, or dropped with its retransmission still owed (Drops -
-// Retransmits covers both the NACK flight and the awaiting-retransmit
-// states). Sent-but-unACKed retention copies are deliberately *not*
-// counted — the real packet is already located downstream (or delivered,
-// with its ACK still in flight) — so the conservation identity
-// Injected == Delivered + Backlog + QueueRejected holds at every cycle;
-// internal/check audits it.
+// buffer, or orphaned — its only live copy destroyed (NACK-dropped with
+// the retransmission still owed, or fault-discarded with the sender's
+// retention copy awaiting its timeout). Duplicate copies launched by
+// timeout recovery are subtracted from the in-flight count so each packet
+// is still counted once; on fault-free runs orphans == Drops - Retransmits
+// and the duplicate count is zero, reducing to the seed formula.
+// Sent-but-unACKed retention copies are deliberately *not* counted — the
+// real packet is already located downstream (or delivered, with its ACK
+// still in flight) — so the conservation identity
+// Injected == Delivered + Backlog + QueueRejected + Lost holds at every
+// cycle; internal/check audits it.
 func (n *Network) Backlog() int {
-	total := n.injPipe.Len() + int(n.stats.Drops-n.stats.Retransmits)
+	total := n.injPipe.Len() + n.orphans - n.dupsInFlight
 	for _, nd := range n.nodes {
 		for _, q := range nd.queues {
 			total += q.out.QueueLen()
@@ -643,13 +914,39 @@ func (n *Network) Outstanding() int {
 	return total
 }
 
+// ErrDrainStalled tags every *DrainError for errors.Is, so callers can
+// test "did the drain hit its cap" without unpacking the details.
+var ErrDrainStalled = errors.New("core: drain stalled before quiescence")
+
+// DrainError reports a Drain that hit its quiescence cap: after Cycles
+// drain cycles the network still owned Outstanding packets. Before this
+// error existed a stranded packet (a fault with recovery disabled, or a
+// protocol hole) was indistinguishable from a clean drain that merely
+// returned late — a hang and a pass looked the same.
+type DrainError struct {
+	Cycles      int64
+	Outstanding int
+}
+
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("core: network not quiescent after %d drain cycles: %d packets still outstanding",
+		e.Cycles, e.Outstanding)
+}
+
+// Is makes errors.Is(err, ErrDrainStalled) match any *DrainError.
+func (e *DrainError) Is(target error) bool { return target == ErrDrainStalled }
+
 // Drain keeps stepping (no new injections) until the network is quiescent
-// or limit cycles elapse; it returns the remaining outstanding count.
-func (n *Network) Drain(limit int64) int {
+// or limit cycles elapse. It returns the remaining outstanding count,
+// together with a *DrainError when that count is non-zero.
+func (n *Network) Drain(limit int64) (int, error) {
 	for i := int64(0); i < limit && n.Outstanding() > 0; i++ {
 		n.Step()
 	}
-	return n.Outstanding()
+	if left := n.Outstanding(); left > 0 {
+		return left, &DrainError{Cycles: limit, Outstanding: left}
+	}
+	return 0, nil
 }
 
 // Result finalises and returns the run's measurements.

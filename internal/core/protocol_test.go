@@ -67,8 +67,8 @@ func TestPacketConservation(t *testing.T) {
 			}
 		}
 		// Everything must drain once injection stops.
-		if left := net.Drain(20_000); left != 0 {
-			t.Fatalf("%v: %d packets stuck after drain", s, left)
+		if left, err := net.Drain(20_000); err != nil {
+			t.Fatalf("%v: %d packets stuck after drain: %v", s, left, err)
 		}
 		st := net.Stats()
 		if st.Delivered != st.Injected {

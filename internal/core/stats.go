@@ -33,6 +33,15 @@ type Stats struct {
 	TokensYielded int64 // fairness quota yields (aggregated at Finish)
 	QueueRejected int64 // bounded output queue refusals
 
+	// Fault-injection and recovery counters (all zero on fault-free runs).
+	FaultsInjected     int64 // faults fired by the injector, all classes
+	TimeoutRetransmits int64 // retransmissions triggered by sender timeouts
+	TokensRegenerated  int64 // watchdog token re-emissions + slot-credit reclaims
+	Lost               int64 // permanently lost packets (data fault on a fire-and-forget scheme)
+	DupsDiscarded      int64 // duplicate arrivals recognised and re-ACKed by homes
+	AcksLost           int64 // ACK pulses destroyed in flight
+	NacksLost          int64 // NACK pulses destroyed in flight
+
 	Latency   *stats.Histogram // end-to-end, measured packets
 	ArbWait   *stats.Histogram // head-ready -> first launch, measured
 	QueueWait *stats.Histogram // enqueue -> first launch, measured
@@ -137,6 +146,12 @@ type Result struct {
 	// DigestEvents is the number of protocol events folded into Digest —
 	// a cheap sanity cross-check when two digests disagree.
 	DigestEvents uint64
+
+	// Fault-injection summary (all zero on fault-free runs).
+	FaultsInjected     int64
+	TimeoutRetransmits int64
+	TokensRegenerated  int64
+	Lost               int64
 }
 
 // Finish computes the run's Result. measureCycles is the length of the
@@ -157,6 +172,11 @@ func (s *Stats) Finish(scheme Scheme) Result {
 		Delivered:    s.DeliveredMeasured,
 		Digest:       s.digest.value(),
 		DigestEvents: s.digest.count,
+
+		FaultsInjected:     s.FaultsInjected,
+		TimeoutRetransmits: s.TimeoutRetransmits,
+		TokensRegenerated:  s.TokensRegenerated,
+		Lost:               s.Lost,
 	}
 	if s.Launches > 0 {
 		res.DropRate = float64(s.Drops) / float64(s.Launches)

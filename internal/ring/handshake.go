@@ -18,13 +18,20 @@ type Ack struct {
 	Positive bool
 }
 
+// LossFunc decides, at delivery time, whether a pulse is destroyed in
+// flight (fault injection). It sees the delivery cycle and the pulse.
+type LossFunc func(now int64, a Ack) bool
+
 // HandshakeChannel carries Ack pulses from a home node back to senders with
 // the fixed AckDelay timing of the loop geometry.
 type HandshakeChannel struct {
-	geom  *Geometry
-	line  *sim.DelayLine[Ack]
-	acks  int64
-	nacks int64
+	geom      *Geometry
+	line      *sim.DelayLine[Ack]
+	acks      int64
+	nacks     int64
+	loss      LossFunc
+	acksLost  int64
+	nacksLost int64
 }
 
 // NewHandshakeChannel builds the handshake channel for one home node.
@@ -49,9 +56,37 @@ func (h *HandshakeChannel) Send(arrivedAt int64, p int, ack Ack) {
 	h.line.Schedule(arrivedAt+int64(h.geom.Segment(p)), ack)
 }
 
-// Deliver returns the pulses reaching their senders this cycle.
+// SetLoss installs a fault filter consulted for every delivered pulse.
+// Destroyed pulses never reach their sender; the send-side counters stay
+// intact (the home node did emit them) while Lost accounts the casualties.
+func (h *HandshakeChannel) SetLoss(f LossFunc) { h.loss = f }
+
+// Lost reports cumulative (ACK, NACK) pulses destroyed in flight.
+func (h *HandshakeChannel) Lost() (acksLost, nacksLost int64) {
+	return h.acksLost, h.nacksLost
+}
+
+// Deliver returns the pulses reaching their senders this cycle. With a
+// loss filter installed, destroyed pulses are removed (and counted) before
+// the survivors are handed over.
 func (h *HandshakeChannel) Deliver(now int64) []Ack {
-	return h.line.PopDue(now)
+	due := h.line.PopDue(now)
+	if h.loss == nil || len(due) == 0 {
+		return due
+	}
+	kept := due[:0]
+	for _, a := range due {
+		if h.loss(now, a) {
+			if a.Positive {
+				h.acksLost++
+			} else {
+				h.nacksLost++
+			}
+			continue
+		}
+		kept = append(kept, a)
+	}
+	return kept
 }
 
 // InFlight reports the number of pulses currently travelling.

@@ -42,6 +42,17 @@ func (p SendPolicy) String() string {
 type pendingEntry struct {
 	pkt       *Packet
 	needsRetx bool
+
+	// Retransmit-timeout state (fault recovery). deadline is the cycle at
+	// which the sender gives up waiting for the handshake answer and
+	// schedules a retransmission; 0 means the timer is not armed (a
+	// deadline can never legitimately be cycle 0 — launches happen at or
+	// after cycle 0 and the timeout base is positive). backoff is the
+	// consecutive-timeout count driving exponential backoff; it resets on
+	// any received answer, because backoff compensates for *silence* (lost
+	// pulses), not for congestion — a NACK is a definitive answer.
+	deadline int64
+	backoff  int
 }
 
 // OutPort is one node's output side: the FIFO output queue in front of E/O
@@ -199,6 +210,67 @@ func (o *OutPort) MarkSent(pkt *Packet, now int64) {
 	}
 }
 
+// entryFor returns the pending/setaside entry holding pkt, or nil.
+func (o *OutPort) entryFor(pkt *Packet) *pendingEntry {
+	if o.pending != nil && o.pending.pkt == pkt {
+		return o.pending
+	}
+	for i := range o.setaside {
+		if o.setaside[i].pkt == pkt {
+			return &o.setaside[i]
+		}
+	}
+	return nil
+}
+
+// Arm starts the retransmit timer for pkt, which must have just been
+// launched (MarkSent) under a retaining policy. The deadline is
+// now + base<<min(backoff, capExp): the base timeout doubles with each
+// consecutive unanswered launch, capped so a long outage cannot push the
+// deadline out indefinitely. Returns the armed deadline.
+func (o *OutPort) Arm(pkt *Packet, now, base int64, capExp int) int64 {
+	e := o.entryFor(pkt)
+	if e == nil {
+		panic("router: arming a retransmit timer for a packet the port does not hold")
+	}
+	shift := e.backoff
+	if shift > capExp {
+		shift = capExp
+	}
+	e.deadline = now + base<<shift
+	return e.deadline
+}
+
+// ExpireTimeouts fires every armed timer whose deadline has arrived
+// (deadline <= now) and is still unanswered: the entry is marked for
+// retransmission, its backoff level increments, and fire is called with
+// the packet. An answer processed earlier in the same cycle wins — the
+// handshake-delivery phase runs before the timeout phase, so an ACK
+// arriving exactly at the deadline cancels the timer (it removed the
+// entry) rather than racing it. Returns the number of timers fired.
+func (o *OutPort) ExpireTimeouts(now int64, fire func(*Packet)) int {
+	fired := 0
+	expire := func(e *pendingEntry) {
+		if e.deadline <= 0 || now < e.deadline || e.needsRetx {
+			return
+		}
+		e.deadline = 0
+		e.backoff++
+		e.needsRetx = true
+		fired++
+		if fire != nil {
+			fire(e.pkt)
+		}
+	}
+	if o.pending != nil {
+		expire(o.pending)
+	}
+	for i := range o.setaside {
+		expire(&o.setaside[i])
+	}
+	return fired
+}
+
 // Ack resolves a positive handshake for packet id, releasing it from the
 // pending/setaside state. It returns the acknowledged packet.
 func (o *OutPort) Ack(id uint64) (*Packet, error) {
@@ -228,11 +300,15 @@ func (o *OutPort) Ack(id uint64) (*Packet, error) {
 func (o *OutPort) Nack(id uint64) (*Packet, error) {
 	if o.pending != nil && o.pending.pkt.ID == id {
 		o.pending.needsRetx = true
+		o.pending.deadline = 0
+		o.pending.backoff = 0
 		return o.pending.pkt, nil
 	}
 	for i := range o.setaside {
 		if o.setaside[i].pkt.ID == id {
 			o.setaside[i].needsRetx = true
+			o.setaside[i].deadline = 0
+			o.setaside[i].backoff = 0
 			return o.setaside[i].pkt, nil
 		}
 	}

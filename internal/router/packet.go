@@ -58,6 +58,12 @@ type Packet struct {
 	FirstSentAt int64
 	SentAt      int64
 	DeliveredAt int64
+	// AcceptedAt is when the home node first accepted the packet into its
+	// input buffer. It stands in for the home's bounded duplicate-detection
+	// registry under fault injection: a timeout retransmission of an
+	// already-accepted packet (its ACK died in flight) is recognised and
+	// discarded on arrival. -1 until accepted.
+	AcceptedAt int64
 
 	// Retransmissions counts NACK-triggered re-sends (handshake schemes).
 	Retransmissions int
@@ -85,6 +91,7 @@ func NewPacket(id uint64, src, dst int, created int64) *Packet {
 		FirstSentAt: -1,
 		SentAt:      -1,
 		DeliveredAt: -1,
+		AcceptedAt:  -1,
 	}
 }
 

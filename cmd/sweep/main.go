@@ -19,6 +19,7 @@ import (
 
 	"photon/internal/core"
 	"photon/internal/exp"
+	"photon/internal/router"
 	"photon/internal/stats"
 	"photon/internal/viz"
 )
@@ -77,7 +78,16 @@ func main() {
 		}
 		emit(t)
 	case *fair:
-		for _, s := range []core.Scheme{core.GHSSetaside, core.DHSSetaside, core.DHSCirculation} {
+		// The fairness study targets the non-blocking handshake variants
+		// (setaside and circulation) — the schemes whose senders keep
+		// injecting past an un-ACKed packet and so can starve far nodes.
+		var fairSchemes []core.Scheme
+		for _, s := range core.Schemes() {
+			if !s.CreditBased() && s.SendPolicy() != router.HoldHead {
+				fairSchemes = append(fairSchemes, s)
+			}
+		}
+		for _, s := range fairSchemes {
 			_, t, err := exp.FairnessStudy(s, opts)
 			if err != nil {
 				fatal(err)
@@ -119,7 +129,15 @@ func main() {
 		emit(t)
 		emitPlot(t.Title, curves)
 	case *fig == "11":
-		for _, s := range []core.Scheme{core.GHS, core.GHSSetaside, core.DHS, core.DHSSetaside, core.DHSCirculation} {
+		// Figure 11 panels (a)-(e): one per handshake-family scheme —
+		// everything the registry holds except the credit baselines.
+		var handshakes []core.Scheme
+		for _, s := range core.Schemes() {
+			if !s.CreditBased() {
+				handshakes = append(handshakes, s)
+			}
+		}
+		for _, s := range handshakes {
 			curves, t, err := exp.Fig11(s, opts)
 			if err != nil {
 				fatal(err)

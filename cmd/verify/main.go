@@ -17,6 +17,8 @@
 //	verify -quick -seed 7  # different tape seed
 //	verify -chaos -quick   # fault-injection battery
 //	verify -quick -json    # machine-readable pass/fail summary
+//	verify -bench          # cycles/sec per scheme (perf baseline, no checks)
+//	verify -bench -json    # write the BENCH_core.json format to stdout
 package main
 
 import (
@@ -68,9 +70,32 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base seed for the traffic tapes")
 		csv     = flag.Bool("csv", false, "emit the per-point table as CSV")
 		chaos   = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
+		bench   = flag.Bool("bench", false, "measure cycles/sec per scheme instead of running checks")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable pass/fail summary")
 	)
 	flag.Parse()
+
+	if *bench {
+		cfg := check.DefaultBench(*seed)
+		if *quick {
+			cfg.Warmup /= 2
+			cfg.Cycles /= 2
+			cfg.Blocks = 3
+		}
+		rep, err := check.RunBench(cfg)
+		if err == nil {
+			if *jsonOut {
+				err = rep.WriteJSON(os.Stdout)
+			} else {
+				err = rep.WriteText(os.Stdout)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var (
 		jr    jsonReport

@@ -1,0 +1,124 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+// BenchConfig shapes the cycles/sec measurement RunBench performs for
+// every registered scheme: Warmup untimed cycles to reach steady state,
+// then Blocks timed blocks of Cycles each, keeping the best block (the
+// standard defence against scheduler noise on shared CI machines).
+type BenchConfig struct {
+	Seed   uint64
+	Load   float64 // injection rate per core (uniform random)
+	Warmup int64
+	Cycles int64
+	Blocks int
+}
+
+// DefaultBench is the BENCH_core.json configuration: a moderate
+// sub-saturation load with invariant checks off, matching how production
+// sweeps drive the engine.
+func DefaultBench(seed uint64) BenchConfig {
+	return BenchConfig{Seed: seed, Load: 0.05, Warmup: 2000, Cycles: 10000, Blocks: 5}
+}
+
+// BenchPoint is one scheme's throughput measurement.
+type BenchPoint struct {
+	Scheme       string  `json:"scheme"`
+	Family       string  `json:"family"`
+	Cycles       int64   `json:"cycles"`       // per timed block
+	BestSeconds  float64 `json:"best_seconds"` // fastest block
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+}
+
+// BenchReport is the machine-readable perf baseline (BENCH_core.json).
+type BenchReport struct {
+	Seed      uint64       `json:"seed"`
+	Load      float64      `json:"load"`
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	Points    []BenchPoint `json:"points"`
+}
+
+// RunBench measures the cycle engine's throughput for every registered
+// scheme. It is a wall-clock measurement, not part of the determinism
+// battery — digests are unaffected by how fast cycles execute.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	rep := &BenchReport{
+		Seed:      cfg.Seed,
+		Load:      cfg.Load,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+	// Effectively unbounded window: a benchmark must never cross into the
+	// drain phase.
+	window := sim.Window{Warmup: 0, Measure: 1 << 40, Drain: 0}
+	for _, s := range core.Schemes() {
+		ncfg := core.DefaultConfig(s)
+		ncfg.Seed = cfg.Seed
+		ncfg.CheckInvariants = false
+		net, err := core.NewNetwork(ncfg, window)
+		if err != nil {
+			return nil, fmt.Errorf("check: bench %v: %w", s, err)
+		}
+		inj, err := traffic.NewInjector(traffic.UniformRandom{}, cfg.Load, ncfg.Nodes, ncfg.CoresPerNode, ncfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("check: bench %v: %w", s, err)
+		}
+		for i := int64(0); i < cfg.Warmup; i++ {
+			inj.Tick(net)
+			net.Step()
+		}
+		best := time.Duration(1<<63 - 1)
+		for b := 0; b < cfg.Blocks; b++ {
+			start := time.Now()
+			for i := int64(0); i < cfg.Cycles; i++ {
+				inj.Tick(net)
+				net.Step()
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		secs := best.Seconds()
+		rep.Points = append(rep.Points, BenchPoint{
+			Scheme:       s.String(),
+			Family:       net.Protocol().Family,
+			Cycles:       cfg.Cycles,
+			BestSeconds:  secs,
+			CyclesPerSec: float64(cfg.Cycles) / secs,
+			NsPerCycle:   secs * 1e9 / float64(cfg.Cycles),
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON (the BENCH_core.json format).
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits a human-readable table.
+func (r *BenchReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-18s %-18s %14s %12s\n", "scheme", "family", "cycles/sec", "ns/cycle"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%-18s %-18s %14.0f %12.1f\n", p.Scheme, p.Family, p.CyclesPerSec, p.NsPerCycle); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -176,7 +176,7 @@ func (c Config) Validate() error {
 	if c.RoundTrip < 1 || c.Nodes%c.RoundTrip != 0 {
 		return fmt.Errorf("core: round trip %d must be >= 1 and divide node count %d", c.RoundTrip, c.Nodes)
 	}
-	if c.Scheme < 0 || c.Scheme >= numSchemes {
+	if _, ok := LookupProtocol(c.Scheme); !ok {
 		return fmt.Errorf("core: invalid scheme %d", int(c.Scheme))
 	}
 	if c.BufferDepth < 1 || c.BufferDepth > maxDepth {

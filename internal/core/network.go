@@ -25,6 +25,11 @@ import (
 // its private setaside slots; the node's own channel ends in an input
 // buffer of BufferDepth slots drained at EjectRate packets per cycle.
 //
+// The engine itself is scheme-agnostic: everything per-scheme lives behind
+// the Protocol interface (protocol.go), bound once per channel at
+// construction into the channel's hook closures. The cycle loop only calls
+// those closures — no scheme dispatch on the hot path.
+//
 // Cycle phase order (the determinism contract documented in DESIGN.md):
 //
 //  1. optical arrivals at home nodes (accept / drop+NACK / reinject)
@@ -82,6 +87,13 @@ type Network struct {
 	// dupsInFlight == 0.
 	orphans      int
 	dupsInFlight int
+
+	// spec is the scheme's registry row; proto built the channel hooks.
+	// (Kept at the tail: these are cold after construction, and the hot
+	// fields above share cache lines the cycle loop depends on.)
+	spec   ProtocolSpec
+	proto  Protocol
+	policy router.SendPolicy
 }
 
 // nodeState is the electrical side of one ring node.
@@ -106,7 +118,10 @@ type queueState struct {
 	want int // home id of the channel this queue's next-ready packet wants, or -1
 }
 
-// channel is the optical machinery of one home node.
+// channel is the optical machinery of one home node. The scheme-specific
+// substrate fields (hs/glob/slot/rc/sc/regen) are populated by the
+// protocol's Wire hook; the closure fields at the bottom are bound once
+// from the Protocol at construction and are all the cycle loop ever calls.
 type channel struct {
 	home int
 	data *ring.DataChannel[*router.Packet]
@@ -136,10 +151,15 @@ type channel struct {
 	faultDiscards int64
 	dupsDiscarded int64
 
-	capture arbiter.CaptureFunc
-	gate    func() bool
-	onHome  func()
-	expire  func()
+	// Pre-bound protocol hooks (see Protocol in protocol.go). A nil hook
+	// means the scheme has no behaviour in that phase.
+	advance     func(now int64)                     // phase 4: token motion + capture
+	launchHeld  func(now int64)                     // phase 5: held global token sends
+	arrive      func(now int64, pkt *router.Packet) // phase 1: packet at home
+	handshake   func(now int64)                     // phase 2: ACK/NACK delivery
+	onEject     func()                              // phase 3: per-packet credit release
+	onDataFault func(pkt *router.Packet)            // data-loss ledger reconciliation
+	invariant   func() error                        // phase 7: conservation check
 }
 
 type grant struct {
@@ -152,6 +172,10 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	spec, ok := LookupProtocol(cfg.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("core: invalid scheme %d", int(cfg.Scheme))
+	}
 	geom, err := ring.NewGeometry(cfg.Nodes, cfg.RoundTrip)
 	if err != nil {
 		return nil, err
@@ -160,6 +184,9 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 		cfg:     cfg,
 		geom:    geom,
 		window:  window,
+		spec:    spec,
+		proto:   spec.New(),
+		policy:  spec.SendPolicy,
 		stats:   NewStats(window, cfg.Nodes, cfg.Cores()),
 		rng:     sim.NewRNG(cfg.Seed),
 		injPipe: sim.NewDelayLine[*router.Packet](cfg.RouterPipeline + 2),
@@ -192,7 +219,7 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 		}
 		for q := range nd.queues {
 			nd.queues[q] = &queueState{
-				out:  router.NewOutPort(cfg.Scheme.SendPolicy(), cfg.QueueCap, cfg.SetasideSize),
+				out:  router.NewOutPort(n.policy, cfg.QueueCap, cfg.SetasideSize),
 				want: -1,
 			}
 		}
@@ -207,33 +234,24 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 			in:   router.NewInPort(cfg.BufferDepth, cfg.EjectRate, cfg.EjectStallProb, n.rng.Fork(uint64(h)+1000)),
 			fair: arbiter.NewFairness(cfg.Nodes, cfg.Fairness),
 		}
-		switch {
-		case cfg.Scheme.Global():
-			c.glob = arbiter.NewGlobalToken(cfg.Nodes, geom.NodesPerCycle())
-		default:
-			c.slot = arbiter.NewSlotEmitter(cfg.Nodes, cfg.RoundTrip, geom.NodesPerCycle())
-		}
-		switch cfg.Scheme {
-		case TokenChannel:
-			c.rc = flow.NewRelayedCredits(cfg.BufferDepth)
-		case TokenSlot:
-			c.sc = flow.NewSlotCredits(cfg.BufferDepth)
-		}
-		if cfg.Scheme.Handshake() {
-			c.hs = ring.NewHandshakeChannel(geom)
-		}
-		if n.faults != nil {
-			if c.hs != nil {
-				c.hs.SetLoss(n.pulseLoss(c))
-			}
-			if c.sc != nil {
-				c.regen = sim.NewDelayLine[int64](cfg.RoundTrip + 2)
-			}
-		}
 		n.chans[h] = c
-		n.wireChannel(c)
+		n.bindChannel(c)
 	}
 	return n, nil
+}
+
+// bindChannel wires channel c's scheme machinery and pre-binds the
+// protocol's hook closures so the hot loop performs no per-cycle
+// allocation or scheme dispatch.
+func (n *Network) bindChannel(c *channel) {
+	n.proto.Wire(n, c)
+	c.advance = n.proto.Arbitrate(n, c)
+	c.launchHeld = n.proto.LaunchHeld(n, c)
+	c.arrive = n.proto.Arrive(n, c)
+	c.handshake = n.proto.Handshake(n, c)
+	c.onEject = n.proto.Eject(n, c)
+	c.onDataFault = n.proto.RecoverData(n, c)
+	c.invariant = n.proto.Invariant(n, c)
 }
 
 // faultSeedStream is the DeriveSeed stream id reserved for the fault
@@ -246,123 +264,14 @@ func faultAux(cl fault.Class, element int) uint64 {
 	return uint64(cl)<<32 | uint64(uint32(element))
 }
 
-// pulseLoss builds channel c's handshake-pulse fault filter.
-func (n *Network) pulseLoss(c *channel) ring.LossFunc {
-	return func(now int64, a ring.Ack) bool {
-		if !n.faults.KillPulse(c.home, now) {
-			return false
-		}
-		n.stats.FaultsInjected++
-		if a.Positive {
-			n.stats.AcksLost++
-		} else {
-			n.stats.NacksLost++
-		}
-		n.emitMeta(EvFault, faultAux(fault.PulseLoss, c.home))
-		return true
-	}
-}
-
-// wireChannel pre-builds the per-channel closures so the hot loop performs
-// no per-cycle allocation.
-func (n *Network) wireChannel(c *channel) {
-	c.capture = func(off int) bool {
-		id := n.geom.NodeAt(c.home, off)
-		nd := n.nodes[id]
-		if n.faults != nil && n.faults.Stalled(id) {
-			// Resonator drift: the node's rings are off-channel and cannot
-			// divert the token, however badly it wants one.
-			return false
-		}
-		if nd.wantCount[c.home] == 0 {
-			return false
-		}
-		if nd.granted || nd.holding >= 0 {
-			return false
-		}
-		if c.rc != nil && c.rc.OnToken() == 0 {
-			// Token Channel: an empty token cannot authorise a send.
-			return false
-		}
-		if !c.fair.Allow(id) {
-			return false
-		}
-		c.fair.OnCapture(id)
-		if c.glob != nil {
-			nd.holding = c.home
-			c.holdCount = 0
-			return true
-		}
-		nd.granted = true
-		if c.sc != nil {
-			c.sc.Capture()
-		}
-		n.grants = append(n.grants, grant{node: nd, ch: c})
-		return true
-	}
-
-	switch {
-	case c.sc != nil: // Token Slot: emission gated on credits.
-		c.gate = func() bool {
-			if !c.sc.CanEmit() {
-				return false
-			}
-			c.sc.Emit()
-			if n.faults != nil && n.faults.KillToken(c.home, n.now) {
-				// The token dies leaving home with a credit aboard; the
-				// credit is stranded until the watchdog reclaims it at the
-				// token's nominal expiry window (recovery enabled), or
-				// forever (recovery disabled — a real availability loss).
-				n.tokenFault(c)
-				return false
-			}
-			return true
-		}
-		c.expire = c.sc.Expire
-	case n.cfg.Scheme.Circulating(): // DHS-cir: reinjection suppresses.
-		c.gate = func() bool {
-			if c.suppress {
-				c.suppress = false
-				return false
-			}
-			if n.faults != nil && n.faults.KillToken(c.home, n.now) {
-				n.tokenFault(c)
-				return false
-			}
-			return true
-		}
-	default: // DHS: a token every cycle, unconditionally.
-		c.gate = func() bool {
-			if n.faults != nil && n.faults.KillToken(c.home, n.now) {
-				n.tokenFault(c)
-				return false
-			}
-			return true
-		}
-	}
-
-	if c.rc != nil {
-		c.onHome = c.rc.PassHome
-	}
-}
-
-// tokenFault accounts a distributed-token (slot) death and, with recovery
-// on, schedules the stranded credit's reclaim for the cycle the token
-// would nominally have expired back at home (age R+1) — the earliest
-// moment the home node can *know* the token is not coming back.
-func (n *Network) tokenFault(c *channel) {
-	n.stats.FaultsInjected++
-	n.emitMeta(EvFault, faultAux(fault.TokenLoss, c.home))
-	if c.sc != nil && n.recoveryOn && c.regen != nil {
-		c.regen.Schedule(n.now+int64(n.cfg.RoundTrip)+1, n.now)
-	}
-}
-
 // Geometry exposes the loop timing model (read-only).
 func (n *Network) Geometry() *ring.Geometry { return n.geom }
 
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Protocol returns the network's scheme registry row.
+func (n *Network) Protocol() ProtocolSpec { return n.spec }
 
 // Now returns the current cycle.
 func (n *Network) Now() int64 { return n.now }
@@ -422,7 +331,9 @@ func (n *Network) Step() {
 		n.phaseArrive(c, now)
 	}
 	for _, c := range n.chans {
-		n.phaseHandshake(c, now)
+		if c.handshake != nil {
+			c.handshake(now)
+		}
 	}
 	if n.recoveryOn {
 		n.phaseTimeouts(now)
@@ -466,103 +377,24 @@ func (n *Network) phaseArrive(c *channel, now int64) {
 		n.dataFault(c, pkt)
 		return
 	}
-	switch {
-	case c.rc != nil:
-		must(c.rc.Arrive())
-		if !c.in.Accept(pkt) {
-			panic("core: credit-guaranteed arrival rejected by home buffer (token channel)")
-		}
-		pkt.AcceptedAt = now
-		n.emit(EvAccept, pkt)
-	case c.sc != nil:
-		must(c.sc.Arrive())
-		if !c.in.Accept(pkt) {
-			panic("core: credit-guaranteed arrival rejected by home buffer (token slot)")
-		}
-		pkt.AcceptedAt = now
-		n.emit(EvAccept, pkt)
-	case n.cfg.Scheme.Circulating():
-		if c.in.Accept(pkt) {
-			pkt.AcceptedAt = now
-			n.emit(EvAccept, pkt)
-		} else {
-			pkt.Circulations++
-			n.stats.Circulations++
-			if _, err := c.data.Reinject(now, pkt); err != nil {
-				panic(err)
-			}
-			c.suppress = true
-			n.emit(EvReinject, pkt)
-		}
-	default: // handshake with ACK/NACK
-		off := n.geom.Offset(c.home, pkt.Src)
-		if pkt.AcceptedAt >= 0 {
-			// Duplicate of an already-accepted packet: its ACK was lost and
-			// the sender's timeout re-sent a copy. The home's dedup registry
-			// recognises the id, discards the copy, and repeats the ACK.
-			n.dupsInFlight--
-			if n.dupsInFlight < 0 {
-				panic("core: negative duplicate-in-flight count")
-			}
-			c.dupsDiscarded++
-			n.stats.DupsDiscarded++
-			n.emit(EvDupDrop, pkt)
-			c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: true})
-			return
-		}
-		accepted := c.in.Accept(pkt)
-		if accepted {
-			pkt.AcceptedAt = now
-			n.emit(EvAccept, pkt)
-		} else {
-			n.stats.Drops++
-			n.orphans++
-			n.emit(EvDrop, pkt)
-		}
-		c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: accepted})
-	}
+	c.arrive(now, pkt)
 }
 
 // dataFault applies a data-loss fault to an arriving flit: the home cannot
 // read it (header included), so it is discarded with no handshake answer.
-// What happens to the *packet* depends on who still remembers it.
+// What happens to the *packet* depends on who still remembers it — the
+// protocol's RecoverData hook reconciles its ledger and classifies the
+// packet's fate.
 func (n *Network) dataFault(c *channel, pkt *router.Packet) {
 	n.stats.FaultsInjected++
 	c.faultDiscards++
 	n.emit(EvFault, pkt)
-	// Credit schemes reserved a buffer slot for this arrival; the slot is
-	// claimed and immediately freed so the credit ledger stays exact (the
-	// credit travels home through the usual reimbursement path).
-	if c.rc != nil {
-		must(c.rc.Arrive())
-		must(c.rc.Eject())
-	}
-	if c.sc != nil {
-		must(c.sc.Arrive())
-		must(c.sc.Eject())
-	}
-	switch {
-	case pkt.AcceptedAt >= 0:
-		// A duplicate copy died; the real packet is safe downstream.
-		n.dupsInFlight--
-		if n.dupsInFlight < 0 {
-			panic("core: negative duplicate-in-flight count")
-		}
-	case n.cfg.Scheme.SendPolicy() == router.FireAndForget:
-		// No sender retention and no receiver copy: the packet is gone.
-		// Credits and circulation cannot recover from data loss — the
-		// paper-side argument for handshake robustness, made measurable.
-		n.stats.Lost++
-	default:
-		// The sender still holds a retention copy; its retransmit timeout
-		// will re-send (recovery on) or strand it visibly (recovery off).
-		n.orphans++
-	}
+	c.onDataFault(pkt)
 }
 
 // phaseTimeouts expires armed retransmit timers (recovery only). It runs
-// after phaseHandshake by contract: an answer delivered in this very cycle
-// has already resolved its entry, so a timer never fires against an
+// after the handshake phase by contract: an answer delivered in this very
+// cycle has already resolved its entry, so a timer never fires against an
 // answer that actually arrived — including one arriving exactly at the
 // deadline cycle.
 func (n *Network) phaseTimeouts(now int64) {
@@ -578,47 +410,11 @@ func (n *Network) phaseTimeouts(now int64) {
 	}
 }
 
-// phaseHandshake applies ACK/NACK pulses reaching senders this cycle.
-func (n *Network) phaseHandshake(c *channel, now int64) {
-	if c.hs == nil {
-		return
-	}
-	for _, ack := range c.hs.Deliver(now) {
-		nd := n.nodes[ack.To]
-		var hit bool
-		for _, q := range nd.queues {
-			var err error
-			var pkt *router.Packet
-			if ack.Positive {
-				pkt, err = q.out.Ack(ack.PacketID)
-			} else {
-				pkt, err = q.out.Nack(ack.PacketID)
-			}
-			if err == nil {
-				hit = true
-				if ack.Positive {
-					n.emit(EvAck, pkt)
-				} else {
-					n.emit(EvNack, pkt)
-				}
-				n.updateQueueWant(nd, q)
-				break
-			}
-		}
-		if !hit {
-			panic(fmt.Sprintf("core: handshake for unknown packet %d at node %d", ack.PacketID, ack.To))
-		}
-	}
-}
-
 // phaseEject drains the home buffer to the cores and frees credits.
 func (n *Network) phaseEject(c *channel, now int64) {
 	for _, pkt := range c.in.Eject() {
-		if c.rc != nil {
-			must(c.rc.Eject())
-		}
-		if c.sc != nil {
-			must(c.sc.Eject())
+		if c.onEject != nil {
+			c.onEject()
 		}
 		pkt.DeliveredAt = now + int64(n.cfg.EjectLatency)
 		n.stats.onDelivered(pkt, false)
@@ -629,7 +425,9 @@ func (n *Network) phaseEject(c *channel, now int64) {
 	}
 }
 
-// phaseTokens advances channel c's arbitration by one cycle.
+// phaseTokens advances channel c's arbitration by one cycle: the
+// scheme-independent fairness window accounting, then the protocol's bound
+// token-motion closure.
 func (n *Network) phaseTokens(c *channel, now int64) {
 	if c.fair.BeginCycle(now) {
 		// A new fairness window opened: re-register the still-backlogged
@@ -641,46 +439,7 @@ func (n *Network) phaseTokens(c *channel, now int64) {
 			}
 		}
 	}
-	if c.glob != nil {
-		if n.faults != nil && !c.glob.Lost() {
-			if _, held := c.glob.Held(); !held && n.faults.KillToken(c.home, now) {
-				// The free circulating token dies in the waveguide.
-				c.glob.Invalidate()
-				n.stats.FaultsInjected++
-				n.emitMeta(EvFault, faultAux(fault.TokenLoss, c.home))
-			}
-		}
-		if n.recoveryOn && now-c.lastActivity > n.watchdog {
-			// Watchdog: the home node has seen neither a token pass nor an
-			// arrival for a full silence window — re-emit the token. The
-			// arbiter's duplicate-token guard refuses if the token is in
-			// fact alive (e.g. parked at a holder the home cannot observe),
-			// so a misjudged firing is harmless.
-			if c.glob.Regenerate() {
-				n.stats.TokensRegenerated++
-				n.emitMeta(EvTokenRegen, uint64(c.home))
-			}
-			c.lastActivity = now // re-arm the window either way
-		}
-		if _, held := c.glob.Held(); !held {
-			before := c.glob.HomePasses()
-			c.glob.Advance(c.capture, c.onHome)
-			if c.glob.HomePasses() != before {
-				c.lastActivity = now
-			}
-		}
-		return
-	}
-	if c.regen != nil {
-		// Credits stranded aboard dead slot tokens come back at the
-		// token's nominal expiry window.
-		for range c.regen.PopDue(now) {
-			c.expire()
-			n.stats.TokensRegenerated++
-			n.emitMeta(EvTokenRegen, uint64(c.home))
-		}
-	}
-	c.slot.Advance(now, c.gate, c.capture, c.expire)
+	c.advance(now)
 }
 
 // phaseLaunch fires this cycle's granted and held sends.
@@ -696,50 +455,10 @@ func (n *Network) phaseLaunch(now int64) {
 	}
 	n.grants = n.grants[:0]
 
-	// Global token holders: one packet per cycle while eligible, then
-	// release back onto the loop.
+	// Global token holders (schemes with a launchHeld hook).
 	for _, c := range n.chans {
-		if c.glob == nil {
-			continue
-		}
-		off, held := c.glob.Held()
-		if !held {
-			continue
-		}
-		nd := n.nodes[n.geom.NodeAt(c.home, off)]
-		if n.faults != nil && n.faults.Stalled(nd.id) {
-			// Resonator drift hit the holder mid-grab: it cannot modulate,
-			// so it releases the token rather than sit on it silently.
-			c.glob.Release()
-			nd.holding = -1
-			continue
-		}
-		canHold := n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold
-		var (
-			q   *queueState
-			pkt *router.Packet
-		)
-		if canHold {
-			_, q, pkt = n.pickQueue(nd, c.home)
-		}
-		if pkt != nil && (c.rc == nil || c.rc.Spend()) {
-			n.launch(nd, q, c, pkt)
-			c.holdCount++
-			// Wave-pipelined release: the re-emitted token rides just
-			// behind the data flit, so a holder with nothing more to send
-			// frees the token in the send cycle rather than one cycle
-			// later — without this, global arbitration caps at half the
-			// channel's wave-pipelined capacity.
-			keep := nd.wantCount[c.home] > 0 &&
-				(n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold) &&
-				(c.rc == nil || c.rc.OnToken() > 0)
-			if !keep {
-				c.glob.Release()
-				nd.holding = -1
-			}
-		} else {
-			c.glob.Release()
-			nd.holding = -1
+		if c.launchHeld != nil {
+			c.launchHeld(now)
 		}
 	}
 }
@@ -851,19 +570,21 @@ func (n *Network) updateQueueWant(nd *nodeState, q *queueState) {
 	q.want = want
 }
 
-// checkInvariants asserts the credit-conservation and channel-occupancy
-// invariants every cycle.
+// checkInvariants asserts the protocol's flow-control conservation
+// invariant and the channel-occupancy invariant every cycle, reporting the
+// scheme by its registry name so diagnostics stay correct for any future
+// registered scheme.
 func (n *Network) checkInvariants() {
 	maxFlight := n.cfg.RoundTrip + 2
 	for _, c := range n.chans {
-		if c.rc != nil {
-			must(c.rc.Invariant())
-		}
-		if c.sc != nil {
-			must(c.sc.Invariant())
+		if c.invariant != nil {
+			if err := c.invariant(); err != nil {
+				panic(fmt.Sprintf("core: scheme %s: %v", n.spec.Name, err))
+			}
 		}
 		if f := c.data.InFlight(); f > maxFlight {
-			panic(fmt.Sprintf("core: channel %d has %d flits in flight (max %d)", c.home, f, maxFlight))
+			panic(fmt.Sprintf("core: scheme %s: channel %d has %d flits in flight (max %d)",
+				n.spec.Name, c.home, f, maxFlight))
 		}
 	}
 }
@@ -922,15 +643,18 @@ var ErrDrainStalled = errors.New("core: drain stalled before quiescence")
 // drain cycles the network still owned Outstanding packets. Before this
 // error existed a stranded packet (a fault with recovery disabled, or a
 // protocol hole) was indistinguishable from a clean drain that merely
-// returned late — a hang and a pass looked the same.
+// returned late — a hang and a pass looked the same. Scheme is the
+// registry name of the scheme that stalled, so multi-scheme batteries
+// report the culprit directly.
 type DrainError struct {
+	Scheme      string
 	Cycles      int64
 	Outstanding int
 }
 
 func (e *DrainError) Error() string {
-	return fmt.Sprintf("core: network not quiescent after %d drain cycles: %d packets still outstanding",
-		e.Cycles, e.Outstanding)
+	return fmt.Sprintf("core: %s network not quiescent after %d drain cycles: %d packets still outstanding",
+		e.Scheme, e.Cycles, e.Outstanding)
 }
 
 // Is makes errors.Is(err, ErrDrainStalled) match any *DrainError.
@@ -944,7 +668,7 @@ func (n *Network) Drain(limit int64) (int, error) {
 		n.Step()
 	}
 	if left := n.Outstanding(); left > 0 {
-		return left, &DrainError{Cycles: limit, Outstanding: left}
+		return left, &DrainError{Scheme: n.spec.Name, Cycles: limit, Outstanding: left}
 	}
 	return 0, nil
 }

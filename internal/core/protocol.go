@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"photon/internal/arbiter"
+	"photon/internal/fault"
+	"photon/internal/flow"
+	"photon/internal/phys"
+	"photon/internal/router"
+)
+
+// Protocol is the per-scheme strategy behind the Network engine. One
+// implementation exists per scheme family (credit-global, credit-slot,
+// handshake-global, handshake-slot, circulation); the registry maps each
+// Scheme to its family plus the scheme's static traits (ProtocolSpec).
+//
+// The engine never dispatches on the interface inside the cycle loop:
+// NewNetwork calls Wire once per channel to build the scheme's machinery,
+// then asks each hook method for a closure and stores it on the channel.
+// Step drives those pre-bound closures, so adding a scheme costs nothing
+// on the hot path of the existing ones.
+//
+// Hook lifecycle within one cycle (phase order is the determinism
+// contract in DESIGN.md):
+//
+//	Arrive      phase 1: the packet landing at the home node this cycle
+//	Handshake   phase 2: ACK/NACK pulses reaching senders (nil = no waveguide)
+//	Eject       phase 3: per-packet credit release at ejection (nil = creditless)
+//	Arbitrate   phase 4: token motion, capture, and token-recovery watchdogs
+//	LaunchHeld  phase 5: sends under a held global token (nil = distributed)
+//
+// RecoverData and Invariant run outside the phase sequence: RecoverData
+// reconciles the flow-control ledger when a fault destroys an arriving
+// flit, and Invariant is the per-cycle conservation check hook.
+type Protocol interface {
+	// Wire builds channel c's scheme-specific machinery — token arbiter,
+	// credit ledgers, handshake waveguide — including its fault-injection
+	// attachments (pulse-loss filters, credit-reclaim timers).
+	Wire(n *Network, c *channel)
+	// Arbitrate returns c's bound token-phase closure: token death and
+	// regeneration (recovery), emission gating, motion, and capture.
+	Arbitrate(n *Network, c *channel) func(now int64)
+	// LaunchHeld returns the bound launch closure for a held global
+	// token, or nil for distributed schemes (their launches ride the
+	// engine's grant queue).
+	LaunchHeld(n *Network, c *channel) func(now int64)
+	// Arrive returns the bound handler for a packet reaching c's home.
+	Arrive(n *Network, c *channel) func(now int64, pkt *router.Packet)
+	// Handshake returns the bound ACK/NACK delivery closure, or nil for
+	// schemes without a handshake waveguide.
+	Handshake(n *Network, c *channel) func(now int64)
+	// Eject returns the per-ejection credit-release hook, or nil for
+	// creditless schemes.
+	Eject(n *Network, c *channel) func()
+	// RecoverData returns the bound data-fault hook: reconcile the credit
+	// ledger for the destroyed arrival, then classify the packet's fate
+	// (duplicate, permanent loss, or orphaned awaiting retransmission).
+	RecoverData(n *Network, c *channel) func(pkt *router.Packet)
+	// Invariant returns the per-cycle flow-control conservation check for
+	// c, or nil when the scheme keeps no checkable ledger.
+	Invariant(n *Network, c *channel) func() error
+}
+
+// ProtocolSpec is one registry row: a scheme's identity and static traits,
+// plus the factory for its Protocol strategy. Everything the rest of the
+// system knows about a scheme — names, grouping, retention policy,
+// hardware profile — is read from here, so registering a new scheme makes
+// it appear in Schemes(), config parsing, the experiment groups, and the
+// verification batteries without touching the engine.
+type ProtocolSpec struct {
+	Scheme    Scheme
+	Name      string // CLI name; Scheme.String() returns this
+	PaperName string // label used in the paper's figures
+	Family    string // protocol family implementing the scheme
+
+	Global      bool // global (relayed token) vs distributed arbitration
+	Handshake   bool // ACK/NACK flow control over a handshake waveguide
+	CreditBased bool // credit flow control
+	Circulating bool // receiver reinjects instead of dropping
+
+	// SendPolicy is the sender-side retention policy (what happens to a
+	// packet at launch).
+	SendPolicy router.SendPolicy
+	// Hardware is the scheme's optical hardware profile (Table I, power).
+	Hardware phys.SchemeHardware
+
+	// New returns the Protocol strategy for this scheme.
+	New func() Protocol
+}
+
+// protocols is the scheme registry, populated by RegisterProtocol from
+// the protocol files' init functions.
+var protocols = map[Scheme]ProtocolSpec{}
+
+// RegisterProtocol adds a scheme to the registry. It panics on malformed
+// or conflicting registrations: a mis-registered scheme must fail at
+// init, not at first dispatch.
+func RegisterProtocol(spec ProtocolSpec) {
+	if spec.Name == "" || spec.PaperName == "" || spec.Family == "" {
+		panic(fmt.Sprintf("core: protocol registration for scheme %d is missing a name", int(spec.Scheme)))
+	}
+	if spec.New == nil {
+		panic(fmt.Sprintf("core: protocol %q registered without a factory", spec.Name))
+	}
+	if prev, ok := protocols[spec.Scheme]; ok {
+		panic(fmt.Sprintf("core: scheme %d registered twice (%q and %q)", int(spec.Scheme), prev.Name, spec.Name))
+	}
+	for _, p := range protocols {
+		if p.Name == spec.Name {
+			panic(fmt.Sprintf("core: protocol name %q registered twice", spec.Name))
+		}
+	}
+	protocols[spec.Scheme] = spec
+}
+
+// LookupProtocol returns the registry row for s.
+func LookupProtocol(s Scheme) (ProtocolSpec, bool) {
+	sp, ok := protocols[s]
+	return sp, ok
+}
+
+// RegisteredProtocols returns every registry row in presentation order
+// (ascending Scheme value, the order the paper introduces them).
+func RegisteredProtocols() []ProtocolSpec {
+	out := make([]ProtocolSpec, 0, len(protocols))
+	for _, sp := range protocols {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scheme < out[j].Scheme })
+	return out
+}
+
+// --- shared hook builders -------------------------------------------------
+//
+// The five families assemble their hooks from these builders, so the
+// engine-visible behaviour of each phase lives in exactly one place.
+//
+// The capture builders run inside the arbiters' token-scan inner loop —
+// the hottest code in the simulator — so they take the concrete credit
+// ledgers (nil when the family has none) rather than generic callbacks:
+// an extra closure call per scanned node position costs ~10% of total
+// cycle throughput. A family with novel capture semantics binds its own
+// arbiter.CaptureFunc instead of reusing these.
+
+// bindGlobalCapture builds the capture closure for a relayed global
+// token. rc, when non-nil, vetoes capture of a token with no credits
+// aboard (Token Channel: an empty token cannot authorise a send).
+//
+// go:noinline on both capture builders: if the builder is inlined into
+// the protocol's Arbitrate method, the compiler re-parents the returned
+// closure and stops inlining the closure's own callees (NodeAt, the
+// fairness filter, the credit ledger) — a ~10% hit to the token-scan
+// loop, the simulator's hottest code.
+//
+//go:noinline
+func bindGlobalCapture(n *Network, c *channel, rc *flow.RelayedCredits) arbiter.CaptureFunc {
+	return func(off int) bool {
+		id := n.geom.NodeAt(c.home, off)
+		nd := n.nodes[id]
+		if n.faults != nil && n.faults.Stalled(id) {
+			// Resonator drift: the node's rings are off-channel and cannot
+			// divert the token, however badly it wants one.
+			return false
+		}
+		if nd.wantCount[c.home] == 0 {
+			return false
+		}
+		if nd.granted || nd.holding >= 0 {
+			return false
+		}
+		if rc != nil && rc.OnToken() == 0 {
+			return false
+		}
+		if !c.fair.Allow(id) {
+			return false
+		}
+		c.fair.OnCapture(id)
+		nd.holding = c.home
+		c.holdCount = 0
+		return true
+	}
+}
+
+// bindSlotCapture builds the capture closure for distributed token slots.
+// sc, when non-nil, moves the home credit aboard the captured token
+// (Token Slot). See bindGlobalCapture for why this must not inline.
+//
+//go:noinline
+func bindSlotCapture(n *Network, c *channel, sc *flow.SlotCredits) arbiter.CaptureFunc {
+	return func(off int) bool {
+		id := n.geom.NodeAt(c.home, off)
+		nd := n.nodes[id]
+		if n.faults != nil && n.faults.Stalled(id) {
+			return false
+		}
+		if nd.wantCount[c.home] == 0 {
+			return false
+		}
+		if nd.granted || nd.holding >= 0 {
+			return false
+		}
+		if !c.fair.Allow(id) {
+			return false
+		}
+		c.fair.OnCapture(id)
+		nd.granted = true
+		if sc != nil {
+			sc.Capture()
+		}
+		n.grants = append(n.grants, grant{node: nd, ch: c})
+		return true
+	}
+}
+
+// bindGlobalArbitrate builds the token-phase closure for global schemes:
+// free-token death (fault injection), the silence watchdog (recovery),
+// and token motion with capture. onHome, when non-nil, runs each time the
+// token passes its home node (Token Channel: credit reimbursement).
+// Bound once per channel at construction; never inline (see bindGlobalCapture).
+//
+//go:noinline
+func bindGlobalArbitrate(n *Network, c *channel, capture arbiter.CaptureFunc, onHome func()) func(now int64) {
+	return func(now int64) {
+		if n.faults != nil && !c.glob.Lost() {
+			if _, held := c.glob.Held(); !held && n.faults.KillToken(c.home, now) {
+				// The free circulating token dies in the waveguide.
+				c.glob.Invalidate()
+				n.stats.FaultsInjected++
+				n.emitMeta(EvFault, faultAux(fault.TokenLoss, c.home))
+			}
+		}
+		if n.recoveryOn && now-c.lastActivity > n.watchdog {
+			// Watchdog: the home node has seen neither a token pass nor an
+			// arrival for a full silence window — re-emit the token. The
+			// arbiter's duplicate-token guard refuses if the token is in
+			// fact alive (e.g. parked at a holder the home cannot observe),
+			// so a misjudged firing is harmless.
+			if c.glob.Regenerate() {
+				n.stats.TokensRegenerated++
+				n.emitMeta(EvTokenRegen, uint64(c.home))
+			}
+			c.lastActivity = now // re-arm the window either way
+		}
+		if _, held := c.glob.Held(); !held {
+			before := c.glob.HomePasses()
+			c.glob.Advance(capture, onHome)
+			if c.glob.HomePasses() != before {
+				c.lastActivity = now
+			}
+		}
+	}
+}
+
+// bindSlotArbitrate builds the token-phase closure for distributed
+// schemes: reclaim credits stranded aboard dead tokens (recovery, Token
+// Slot only), then advance the slot emitter through gate/capture/expire.
+// Bound once per channel at construction; never inline (see bindGlobalCapture).
+//
+//go:noinline
+func bindSlotArbitrate(n *Network, c *channel, gate func() bool, capture arbiter.CaptureFunc, expire func()) func(now int64) {
+	return func(now int64) {
+		if c.regen != nil {
+			// Credits stranded aboard dead slot tokens come back at the
+			// token's nominal expiry window.
+			for range c.regen.PopDue(now) {
+				expire()
+				n.stats.TokensRegenerated++
+				n.emitMeta(EvTokenRegen, uint64(c.home))
+			}
+		}
+		c.slot.Advance(now, gate, capture, expire)
+	}
+}
+
+// bindHeldLaunch builds the launch closure for a held global token: one
+// packet per cycle while eligible, then release back onto the loop.
+// rc, when non-nil, must authorise each send by spending a credit aboard
+// the token, and gates holding the token on credits remaining (Token
+// Channel).
+// Bound once per channel at construction; never inline (see bindGlobalCapture).
+//
+//go:noinline
+func bindHeldLaunch(n *Network, c *channel, rc *flow.RelayedCredits) func(now int64) {
+	return func(now int64) {
+		off, held := c.glob.Held()
+		if !held {
+			return
+		}
+		nd := n.nodes[n.geom.NodeAt(c.home, off)]
+		if n.faults != nil && n.faults.Stalled(nd.id) {
+			// Resonator drift hit the holder mid-grab: it cannot modulate,
+			// so it releases the token rather than sit on it silently.
+			c.glob.Release()
+			nd.holding = -1
+			return
+		}
+		canHold := n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold
+		var (
+			q   *queueState
+			pkt *router.Packet
+		)
+		if canHold {
+			_, q, pkt = n.pickQueue(nd, c.home)
+		}
+		if pkt != nil && (rc == nil || rc.Spend()) {
+			n.launch(nd, q, c, pkt)
+			c.holdCount++
+			// Wave-pipelined release: the re-emitted token rides just
+			// behind the data flit, so a holder with nothing more to send
+			// frees the token in the send cycle rather than one cycle
+			// later — without this, global arbitration caps at half the
+			// channel's wave-pipelined capacity.
+			keep := nd.wantCount[c.home] > 0 &&
+				(n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold) &&
+				(rc == nil || rc.OnToken() > 0)
+			if !keep {
+				c.glob.Release()
+				nd.holding = -1
+			}
+		} else {
+			c.glob.Release()
+			nd.holding = -1
+		}
+	}
+}
+
+// tokenFault accounts a distributed-token (slot) death and, with recovery
+// on, schedules the stranded credit's reclaim for the cycle the token
+// would nominally have expired back at home (age R+1) — the earliest
+// moment the home node can *know* the token is not coming back.
+func (n *Network) tokenFault(c *channel) {
+	n.stats.FaultsInjected++
+	n.emitMeta(EvFault, faultAux(fault.TokenLoss, c.home))
+	if c.sc != nil && n.recoveryOn && c.regen != nil {
+		c.regen.Schedule(n.now+int64(n.cfg.RoundTrip)+1, n.now)
+	}
+}
+
+// classifyDataLoss settles a logical packet's fate after a data fault
+// destroyed an arriving copy: a duplicate of an already-accepted packet
+// leaves the real one safe downstream; without sender retention the
+// packet is permanently lost (credits and circulation cannot recover from
+// data loss — the paper-side argument for handshake robustness, made
+// measurable); with retention the sender's retransmit timeout will
+// re-send (recovery on) or strand it visibly (recovery off).
+func (n *Network) classifyDataLoss(pkt *router.Packet) {
+	switch {
+	case pkt.AcceptedAt >= 0:
+		n.dupsInFlight--
+		if n.dupsInFlight < 0 {
+			panic("core: negative duplicate-in-flight count")
+		}
+	case n.policy == router.FireAndForget:
+		n.stats.Lost++
+	default:
+		n.orphans++
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"photon/internal/arbiter"
+	"photon/internal/fault"
+	"photon/internal/phys"
+	"photon/internal/ring"
+	"photon/internal/router"
+)
+
+// The paper's handshake schemes: ACK/NACK flow control over a dedicated
+// handshake waveguide. The sender retains each packet until its answer
+// returns (HoldHead pins the queue head; Setaside parks it in private
+// slots), which doubles as retransmission state — the property that makes
+// pulse and data faults recoverable where fire-and-forget schemes lose
+// the packet outright.
+
+func init() {
+	RegisterProtocol(ProtocolSpec{
+		Scheme:     GHS,
+		Name:       "ghs",
+		PaperName:  "GHS",
+		Family:     "handshake-global",
+		Global:     true,
+		Handshake:  true,
+		SendPolicy: router.HoldHead,
+		Hardware:   phys.SchemeHardware{Name: "GHS", Arbitration: phys.GlobalArbitration, Handshake: true},
+		New:        func() Protocol { return handshakeGlobalProtocol{} },
+	})
+	RegisterProtocol(ProtocolSpec{
+		Scheme:     GHSSetaside,
+		Name:       "ghs-setaside",
+		PaperName:  "GHS w/ Setaside",
+		Family:     "handshake-global",
+		Global:     true,
+		Handshake:  true,
+		SendPolicy: router.Setaside,
+		Hardware:   phys.SchemeHardware{Name: "GHS_SetBuf", Arbitration: phys.GlobalArbitration, Handshake: true},
+		New:        func() Protocol { return handshakeGlobalProtocol{} },
+	})
+	RegisterProtocol(ProtocolSpec{
+		Scheme:     DHS,
+		Name:       "dhs",
+		PaperName:  "DHS",
+		Family:     "handshake-slot",
+		Handshake:  true,
+		SendPolicy: router.HoldHead,
+		Hardware:   phys.SchemeHardware{Name: "DHS", Arbitration: phys.DistributedArbitration, Handshake: true},
+		New:        func() Protocol { return handshakeSlotProtocol{} },
+	})
+	RegisterProtocol(ProtocolSpec{
+		Scheme:     DHSSetaside,
+		Name:       "dhs-setaside",
+		PaperName:  "DHS w/ Setaside",
+		Family:     "handshake-slot",
+		Handshake:  true,
+		SendPolicy: router.Setaside,
+		Hardware:   phys.SchemeHardware{Name: "DHS_SetBuf", Arbitration: phys.DistributedArbitration, Handshake: true},
+		New:        func() Protocol { return handshakeSlotProtocol{} },
+	})
+}
+
+// wireHandshake attaches the handshake waveguide and, under fault
+// injection, its pulse-loss filter.
+func wireHandshake(n *Network, c *channel) {
+	c.hs = ring.NewHandshakeChannel(n.geom)
+	if n.faults != nil {
+		c.hs.SetLoss(n.pulseLoss(c))
+	}
+}
+
+// pulseLoss builds channel c's handshake-pulse fault filter.
+func (n *Network) pulseLoss(c *channel) ring.LossFunc {
+	return func(now int64, a ring.Ack) bool {
+		if !n.faults.KillPulse(c.home, now) {
+			return false
+		}
+		n.stats.FaultsInjected++
+		if a.Positive {
+			n.stats.AcksLost++
+		} else {
+			n.stats.NacksLost++
+		}
+		n.emitMeta(EvFault, faultAux(fault.PulseLoss, c.home))
+		return true
+	}
+}
+
+// bindHandshakeArrive builds the arrival handler shared by every
+// handshake scheme: accept or drop+NACK, with duplicate detection for
+// timeout-recovery copies.
+// Bound once per channel at construction; never inline (see bindGlobalCapture).
+//
+//go:noinline
+func bindHandshakeArrive(n *Network, c *channel) func(now int64, pkt *router.Packet) {
+	return func(now int64, pkt *router.Packet) {
+		off := n.geom.Offset(c.home, pkt.Src)
+		if pkt.AcceptedAt >= 0 {
+			// Duplicate of an already-accepted packet: its ACK was lost and
+			// the sender's timeout re-sent a copy. The home's dedup registry
+			// recognises the id, discards the copy, and repeats the ACK.
+			n.dupsInFlight--
+			if n.dupsInFlight < 0 {
+				panic("core: negative duplicate-in-flight count")
+			}
+			c.dupsDiscarded++
+			n.stats.DupsDiscarded++
+			n.emit(EvDupDrop, pkt)
+			c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: true})
+			return
+		}
+		accepted := c.in.Accept(pkt)
+		if accepted {
+			pkt.AcceptedAt = now
+			n.emit(EvAccept, pkt)
+		} else {
+			n.stats.Drops++
+			n.orphans++
+			n.emit(EvDrop, pkt)
+		}
+		c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: accepted})
+	}
+}
+
+// bindHandshakeDelivery builds the phase-2 closure applying ACK/NACK
+// pulses that reach senders this cycle.
+// Bound once per channel at construction; never inline (see bindGlobalCapture).
+//
+//go:noinline
+func bindHandshakeDelivery(n *Network, c *channel) func(now int64) {
+	return func(now int64) {
+		for _, ack := range c.hs.Deliver(now) {
+			nd := n.nodes[ack.To]
+			var hit bool
+			for _, q := range nd.queues {
+				var err error
+				var pkt *router.Packet
+				if ack.Positive {
+					pkt, err = q.out.Ack(ack.PacketID)
+				} else {
+					pkt, err = q.out.Nack(ack.PacketID)
+				}
+				if err == nil {
+					hit = true
+					if ack.Positive {
+						n.emit(EvAck, pkt)
+					} else {
+						n.emit(EvNack, pkt)
+					}
+					n.updateQueueWant(nd, q)
+					break
+				}
+			}
+			if !hit {
+				panic(fmt.Sprintf("core: handshake for unknown packet %d at node %d", ack.PacketID, ack.To))
+			}
+		}
+	}
+}
+
+// handshakeGlobalProtocol is GHS (± setaside): a credit-free relayed
+// global token grants the channel; the receiver answers every flit.
+type handshakeGlobalProtocol struct{}
+
+func (handshakeGlobalProtocol) Wire(n *Network, c *channel) {
+	c.glob = arbiter.NewGlobalToken(n.cfg.Nodes, n.geom.NodesPerCycle())
+	wireHandshake(n, c)
+}
+
+func (handshakeGlobalProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
+	return bindGlobalArbitrate(n, c, bindGlobalCapture(n, c, nil), nil)
+}
+
+func (handshakeGlobalProtocol) LaunchHeld(n *Network, c *channel) func(now int64) {
+	return bindHeldLaunch(n, c, nil)
+}
+
+func (handshakeGlobalProtocol) Arrive(n *Network, c *channel) func(now int64, pkt *router.Packet) {
+	return bindHandshakeArrive(n, c)
+}
+
+func (handshakeGlobalProtocol) Handshake(n *Network, c *channel) func(now int64) {
+	return bindHandshakeDelivery(n, c)
+}
+
+func (handshakeGlobalProtocol) Eject(n *Network, c *channel) func() { return nil }
+
+func (handshakeGlobalProtocol) RecoverData(n *Network, c *channel) func(pkt *router.Packet) {
+	return n.classifyDataLoss
+}
+
+func (handshakeGlobalProtocol) Invariant(n *Network, c *channel) func() error { return nil }
+
+// handshakeSlotProtocol is DHS (± setaside): the home emits a fresh token
+// every cycle; one packet per captured token; the receiver answers every
+// flit.
+type handshakeSlotProtocol struct{}
+
+func (handshakeSlotProtocol) Wire(n *Network, c *channel) {
+	c.slot = arbiter.NewSlotEmitter(n.cfg.Nodes, n.cfg.RoundTrip, n.geom.NodesPerCycle())
+	wireHandshake(n, c)
+}
+
+func (handshakeSlotProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
+	capture := bindSlotCapture(n, c, nil)
+	// DHS: a token every cycle, unconditionally (unless it dies leaving
+	// home under fault injection).
+	gate := func() bool {
+		if n.faults != nil && n.faults.KillToken(c.home, n.now) {
+			n.tokenFault(c)
+			return false
+		}
+		return true
+	}
+	return bindSlotArbitrate(n, c, gate, capture, nil)
+}
+
+func (handshakeSlotProtocol) LaunchHeld(n *Network, c *channel) func(now int64) { return nil }
+
+func (handshakeSlotProtocol) Arrive(n *Network, c *channel) func(now int64, pkt *router.Packet) {
+	return bindHandshakeArrive(n, c)
+}
+
+func (handshakeSlotProtocol) Handshake(n *Network, c *channel) func(now int64) {
+	return bindHandshakeDelivery(n, c)
+}
+
+func (handshakeSlotProtocol) Eject(n *Network, c *channel) func() { return nil }
+
+func (handshakeSlotProtocol) RecoverData(n *Network, c *channel) func(pkt *router.Packet) {
+	return n.classifyDataLoss
+}
+
+func (handshakeSlotProtocol) Invariant(n *Network, c *channel) func() error { return nil }

@@ -5,22 +5,29 @@
 // (GHS and DHS, each optionally with setaside buffers, and DHS with
 // circulation).
 //
-// The Network type wires together the substrates from the sibling
-// packages: ring (optical timing), arbiter (token motion), flow (credit
-// conservation) and router (electrical queues). One Network simulates all
-// Nodes MWSR channels simultaneously, since sender-side head-of-line
-// interactions couple the channels — the very effect the setaside and
-// circulation techniques target.
+// The Network type is a scheme-agnostic cycle engine; everything
+// per-scheme lives behind the Protocol strategy layer (protocol.go) and
+// its registry, which also backs every trait accessor below. The engine
+// wires together the substrates from the sibling packages: ring (optical
+// timing), arbiter (token motion), flow (credit conservation) and router
+// (electrical queues). One Network simulates all Nodes MWSR channels
+// simultaneously, since sender-side head-of-line interactions couple the
+// channels — the very effect the setaside and circulation techniques
+// target.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"photon/internal/phys"
 	"photon/internal/router"
 )
 
-// Scheme identifies an arbitration + flow-control scheme.
+// Scheme identifies an arbitration + flow-control scheme. Each value is a
+// key into the protocol registry (see RegisterProtocol); every trait
+// accessor below reads the scheme's ProtocolSpec, so a newly registered
+// scheme needs no edits here.
 type Scheme int
 
 const (
@@ -44,126 +51,109 @@ const (
 	// buffer instead of dropping them; senders forget packets at launch
 	// and no handshake waveguide exists.
 	DHSCirculation
-
-	numSchemes
 )
 
-// Schemes lists every implemented scheme in presentation order.
+// Schemes lists every registered scheme in presentation order.
 func Schemes() []Scheme {
-	return []Scheme{TokenChannel, TokenSlot, GHS, GHSSetaside, DHS, DHSSetaside, DHSCirculation}
+	specs := RegisteredProtocols()
+	out := make([]Scheme, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Scheme
+	}
+	return out
 }
 
-// GlobalGroup returns the schemes compared in the paper's Figure 8.
-func GlobalGroup() []Scheme { return []Scheme{TokenChannel, GHS, GHSSetaside} }
+// GlobalGroup returns the global-arbitration schemes (the paper's
+// Figure 8 comparison).
+func GlobalGroup() []Scheme {
+	var out []Scheme
+	for _, sp := range RegisteredProtocols() {
+		if sp.Global {
+			out = append(out, sp.Scheme)
+		}
+	}
+	return out
+}
 
-// DistributedGroup returns the schemes compared in the paper's Figure 9.
+// DistributedGroup returns the distributed-arbitration schemes (the
+// paper's Figure 9 comparison).
 func DistributedGroup() []Scheme {
-	return []Scheme{TokenSlot, DHS, DHSSetaside, DHSCirculation}
+	var out []Scheme
+	for _, sp := range RegisteredProtocols() {
+		if !sp.Global {
+			out = append(out, sp.Scheme)
+		}
+	}
+	return out
 }
 
 func (s Scheme) String() string {
-	switch s {
-	case TokenChannel:
-		return "token-channel"
-	case TokenSlot:
-		return "token-slot"
-	case GHS:
-		return "ghs"
-	case GHSSetaside:
-		return "ghs-setaside"
-	case DHS:
-		return "dhs"
-	case DHSSetaside:
-		return "dhs-setaside"
-	case DHSCirculation:
-		return "dhs-circulation"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
+	if sp, ok := LookupProtocol(s); ok {
+		return sp.Name
 	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
 // ParseScheme converts a CLI name into a Scheme.
 func ParseScheme(name string) (Scheme, error) {
-	for _, s := range Schemes() {
-		if s.String() == name {
-			return s, nil
+	valid := make([]string, 0, len(protocols))
+	for _, sp := range RegisteredProtocols() {
+		if sp.Name == name {
+			return sp.Scheme, nil
 		}
+		valid = append(valid, sp.Name)
 	}
-	return 0, fmt.Errorf("core: unknown scheme %q (valid: token-channel, token-slot, ghs, ghs-setaside, dhs, dhs-setaside, dhs-circulation)", name)
+	return 0, fmt.Errorf("core: unknown scheme %q (valid: %s)", name, strings.Join(valid, ", "))
 }
 
 // Global reports whether the scheme uses global arbitration (one relayed
 // token) rather than distributed per-cycle token slots.
-func (s Scheme) Global() bool { return s == TokenChannel || s == GHS || s == GHSSetaside }
+func (s Scheme) Global() bool {
+	sp, _ := LookupProtocol(s)
+	return sp.Global
+}
 
 // Handshake reports whether the scheme uses ACK/NACK flow control (and
 // therefore a handshake waveguide).
 func (s Scheme) Handshake() bool {
-	return s == GHS || s == GHSSetaside || s == DHS || s == DHSSetaside
+	sp, _ := LookupProtocol(s)
+	return sp.Handshake
 }
 
 // CreditBased reports whether the scheme relies on credit flow control.
-func (s Scheme) CreditBased() bool { return s == TokenChannel || s == TokenSlot }
+func (s Scheme) CreditBased() bool {
+	sp, _ := LookupProtocol(s)
+	return sp.CreditBased
+}
 
 // Circulating reports whether the receiver reinjects packets (DHS-cir).
-func (s Scheme) Circulating() bool { return s == DHSCirculation }
+func (s Scheme) Circulating() bool {
+	sp, _ := LookupProtocol(s)
+	return sp.Circulating
+}
 
-// SendPolicy returns the sender-side packet retention policy of the scheme.
+// SendPolicy returns the sender-side packet retention policy of the
+// scheme (FireAndForget for unregistered values — the zero policy).
 func (s Scheme) SendPolicy() router.SendPolicy {
-	switch s {
-	case GHS, DHS:
-		return router.HoldHead
-	case GHSSetaside, DHSSetaside:
-		return router.Setaside
-	default:
-		// Credit schemes: delivery guaranteed. Circulation: the receiver
-		// takes responsibility.
-		return router.FireAndForget
-	}
+	sp, _ := LookupProtocol(s)
+	return sp.SendPolicy
 }
 
 // Hardware returns the scheme's hardware profile for Table I and the power
 // model. The setaside variants share their base scheme's optical hardware
 // (setaside buffers are electrical).
 func (s Scheme) Hardware() phys.SchemeHardware {
-	switch s {
-	case TokenChannel:
-		return phys.SchemeHardware{Name: "Token Channel", Arbitration: phys.GlobalArbitration, TokenCreditBits: 6}
-	case TokenSlot:
-		return phys.SchemeHardware{Name: "Token Slot", Arbitration: phys.DistributedArbitration}
-	case GHS:
-		return phys.SchemeHardware{Name: "GHS", Arbitration: phys.GlobalArbitration, Handshake: true}
-	case GHSSetaside:
-		return phys.SchemeHardware{Name: "GHS_SetBuf", Arbitration: phys.GlobalArbitration, Handshake: true}
-	case DHS:
-		return phys.SchemeHardware{Name: "DHS", Arbitration: phys.DistributedArbitration, Handshake: true}
-	case DHSSetaside:
-		return phys.SchemeHardware{Name: "DHS_SetBuf", Arbitration: phys.DistributedArbitration, Handshake: true}
-	case DHSCirculation:
-		return phys.SchemeHardware{Name: "DHS_Cir", Arbitration: phys.DistributedArbitration, Circulation: true}
-	default:
+	sp, ok := LookupProtocol(s)
+	if !ok {
 		panic("core: Hardware of invalid scheme")
 	}
+	return sp.Hardware
 }
 
 // PaperName returns the label used in the paper's figures.
 func (s Scheme) PaperName() string {
-	switch s {
-	case TokenChannel:
-		return "Token Channel"
-	case TokenSlot:
-		return "Token Slot"
-	case GHS:
-		return "GHS"
-	case GHSSetaside:
-		return "GHS w/ Setaside"
-	case DHS:
-		return "DHS"
-	case DHSSetaside:
-		return "DHS w/ Setaside"
-	case DHSCirculation:
-		return "DHS w/ Circulation"
-	default:
-		return s.String()
+	if sp, ok := LookupProtocol(s); ok {
+		return sp.PaperName
 	}
+	return s.String()
 }

@@ -49,24 +49,23 @@ func Fig2b(opts Options) ([]Curve, *stats.Table, error) {
 	return curves, curvesToTable("Figure 2(b): Token Slot latency vs load, UR, by credit count", curves), nil
 }
 
-// globalSeries returns the Figure 8 comparison set.
-func globalSeries() []SweepSeries {
-	return []SweepSeries{
-		{Label: "Token Channel", Scheme: core.TokenChannel},
-		{Label: "GHS", Scheme: core.GHS},
-		{Label: "GHS w/ Setaside", Scheme: core.GHSSetaside},
+// seriesFor turns a scheme group into sweep series labelled with the
+// paper's figure names, preserving registry (presentation) order.
+func seriesFor(group []core.Scheme) []SweepSeries {
+	series := make([]SweepSeries, len(group))
+	for i, s := range group {
+		series[i] = SweepSeries{Label: s.PaperName(), Scheme: s}
 	}
+	return series
 }
 
-// distributedSeries returns the Figure 9 comparison set.
-func distributedSeries() []SweepSeries {
-	return []SweepSeries{
-		{Label: "Token Slot", Scheme: core.TokenSlot},
-		{Label: "DHS", Scheme: core.DHS},
-		{Label: "DHS w/ Setaside", Scheme: core.DHSSetaside},
-		{Label: "DHS w/ Circulation", Scheme: core.DHSCirculation},
-	}
-}
+// globalSeries returns the Figure 8 comparison set: every registered
+// global-arbitration scheme.
+func globalSeries() []SweepSeries { return seriesFor(core.GlobalGroup()) }
+
+// distributedSeries returns the Figure 9 comparison set: every registered
+// distributed-arbitration scheme.
+func distributedSeries() []SweepSeries { return seriesFor(core.DistributedGroup()) }
 
 // Fig8 reproduces Figure 8: the global-arbitration group (Token Channel,
 // GHS, GHS+Setaside) on the named pattern (UR, BC or TOR).
@@ -102,9 +101,7 @@ func Fig9(pattern string, opts Options) ([]Curve, *stats.Table, error) {
 // handshake scheme under UR. The paper's point: handshake performance is
 // (nearly) independent of credits, unlike Figure 2(b).
 func Fig11(scheme core.Scheme, opts Options) ([]Curve, *stats.Table, error) {
-	switch scheme {
-	case core.GHS, core.GHSSetaside, core.DHS, core.DHSSetaside, core.DHSCirculation:
-	default:
+	if scheme.CreditBased() {
 		return nil, nil, fmt.Errorf("exp: Fig11 is defined for the handshake schemes, not %v", scheme)
 	}
 	var series []SweepSeries

@@ -28,10 +28,9 @@ func Fig12(load float64, opts Options) ([]Fig12Row, *stats.Table, *stats.Table, 
 	if load <= 0 {
 		load = 0.11
 	}
-	schemes := []core.Scheme{
-		core.TokenChannel, core.GHS, core.GHSSetaside,
-		core.TokenSlot, core.DHS, core.DHSSetaside, core.DHSCirculation,
-	}
+	// Table order follows the paper: the global-arbitration group first,
+	// then the distributed one.
+	schemes := append(core.GlobalGroup(), core.DistributedGroup()...)
 	var points []Point
 	for _, s := range schemes {
 		points = append(points, Point{Scheme: s, Pattern: traffic.UniformRandom{}, Rate: load})

@@ -190,7 +190,7 @@ type Injector struct {
 
 	// Per-element RNG streams and burst countdowns, one per channel for
 	// the in-flight classes and one per node for stalls.
-	tokenRNG, pulseRNG, dataRNG []*sim.RNG
+	tokenRNG, pulseRNG, dataRNG       []*sim.RNG
 	tokenBurst, pulseBurst, dataBurst []int
 
 	stallRNG  []*sim.RNG

@@ -19,6 +19,14 @@
 //	verify -quick -json    # machine-readable pass/fail summary
 //	verify -bench          # cycles/sec per scheme (perf baseline, no checks)
 //	verify -bench -json    # write the BENCH_core.json format to stdout
+//
+// With -trace it runs one point with the protocol event tap armed and
+// exports the assembled per-packet spans:
+//
+//	verify -trace                                   # exact attribution table, dhs-setaside UR@0.13
+//	verify -trace -trace-scheme ghs -trace-load 0.2 # another point
+//	verify -trace -trace-format chrome -trace-out trace.json   # chrome://tracing / Perfetto
+//	verify -trace -trace-format flame -trace-out folded.txt    # flame-graph folded stacks
 package main
 
 import (
@@ -29,6 +37,11 @@ import (
 	"os"
 
 	"photon/internal/check"
+	"photon/internal/core"
+	"photon/internal/exp"
+	"photon/internal/ptrace"
+	"photon/internal/stats"
+	"photon/internal/traffic"
 )
 
 // jsonPoint is one per-point verdict in the -json summary. Name carries
@@ -72,8 +85,23 @@ func main() {
 		chaos   = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
 		bench   = flag.Bool("bench", false, "measure cycles/sec per scheme instead of running checks")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable pass/fail summary")
+
+		trace        = flag.Bool("trace", false, "trace one point with the event tap and export per-packet spans")
+		traceScheme  = flag.String("trace-scheme", "dhs-setaside", "scheme to trace")
+		tracePattern = flag.String("trace-pattern", "UR", "traffic pattern to trace: UR, BC, TOR")
+		traceLoad    = flag.Float64("trace-load", 0.13, "offered load for the traced point")
+		traceFormat  = flag.String("trace-format", "table", "export format: table, chrome, flame")
+		traceOut     = flag.String("trace-out", "", "output path (default stdout)")
 	)
 	flag.Parse()
+
+	if *trace {
+		if err := runTrace(*traceScheme, *tracePattern, *traceLoad, *traceFormat, *traceOut, *seed, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench {
 		cfg := check.DefaultBench(*seed)
@@ -203,4 +231,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: %d points, %d cross checks\n", len(jr.Points), len(cross))
+}
+
+// runTrace runs one point with the event tap armed and exports the
+// assembled spans in the requested format.
+func runTrace(schemeName, patternName string, load float64, format, outPath string, seed uint64, quick bool) error {
+	scheme, err := core.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	var pattern traffic.Pattern
+	for _, p := range traffic.PaperPatterns() {
+		if p.Name() == patternName {
+			pattern = p
+		}
+	}
+	if pattern == nil {
+		return fmt.Errorf("unknown pattern %q (UR, BC, TOR)", patternName)
+	}
+	opts := exp.DefaultOptions()
+	if quick {
+		opts = exp.QuickOptions()
+	}
+	opts.Seed = seed
+
+	res, tr, err := exp.RunTracedPoint(exp.Point{Scheme: scheme, Pattern: pattern, Rate: load}, opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range tr.Spans {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("span invariant violated: %w", err)
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch format {
+	case "chrome":
+		return ptrace.WriteChromeTrace(out, tr)
+	case "flame":
+		return ptrace.WriteFlame(out, tr, fmt.Sprintf("%s-%s@%.2f", scheme, patternName, load))
+	case "table":
+		attr := ptrace.Aggregate(tr, true)
+		t := stats.NewTable(
+			fmt.Sprintf("%s %s @ %.3f — exact attribution over %d measured deliveries (%d local)",
+				scheme, patternName, load, attr.Spans, attr.Local),
+			"phase", "total cycles", "avg cycles/packet")
+		for k := 0; k < ptrace.NumPhases; k++ {
+			kind := ptrace.PhaseKind(k)
+			t.AddRow(kind.String(), attr.Phases[k], fmt.Sprintf("%.2f", attr.AvgPhase(kind)))
+		}
+		t.AddRow("total", attr.Total, fmt.Sprintf("%.2f", attr.AvgTotal()))
+		t.AddRow("(setaside overlap)", attr.Setaside, "")
+		if err := t.WriteText(out); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out,
+			"\nspans %d  launches %d  drops %d  circulations %d  digest %016x (tap is digest-inert)\nexact mean %.4f == measured AvgLatency %.4f\n",
+			len(tr.Spans), attr.Launches, attr.Drops, attr.Circulations, res.Digest, attr.AvgTotal(), res.AvgLatency)
+		return err
+	default:
+		return fmt.Errorf("unknown trace format %q (table, chrome, flame)", format)
+	}
 }

@@ -39,6 +39,10 @@ type BenchPoint struct {
 	BestSeconds  float64 `json:"best_seconds"` // fastest block
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	NsPerCycle   float64 `json:"ns_per_cycle"`
+	// TracedNsPerCycle is the same measurement with a minimal event tap
+	// armed — the marginal cost of observing the full lifecycle stream.
+	// The nil-tap NsPerCycle is the baseline the perf gate compares.
+	TracedNsPerCycle float64 `json:"traced_ns_per_cycle"`
 }
 
 // BenchReport is the machine-readable perf baseline (BENCH_core.json).
@@ -50,9 +54,56 @@ type BenchReport struct {
 	Points    []BenchPoint `json:"points"`
 }
 
+// countingTap is the cheapest possible core.Tracer: it measures the pure
+// emission overhead of an armed tap without the memory traffic a
+// recording sink would add.
+type countingTap struct{ n uint64 }
+
+func (t *countingTap) Observe(core.Event) { t.n++ }
+
+// benchScheme times one scheme's steady-state cycle throughput,
+// optionally with a minimal tap armed, and returns the best block along
+// with the protocol family name.
+func benchScheme(s core.Scheme, cfg BenchConfig, traced bool) (time.Duration, string, error) {
+	// Effectively unbounded window: a benchmark must never cross into the
+	// drain phase.
+	window := sim.Window{Warmup: 0, Measure: 1 << 40, Drain: 0}
+	ncfg := core.DefaultConfig(s)
+	ncfg.Seed = cfg.Seed
+	ncfg.CheckInvariants = false
+	net, err := core.NewNetwork(ncfg, window)
+	if err != nil {
+		return 0, "", fmt.Errorf("check: bench %v: %w", s, err)
+	}
+	if traced {
+		net.SetTracer(&countingTap{})
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, cfg.Load, ncfg.Nodes, ncfg.CoresPerNode, ncfg.Seed)
+	if err != nil {
+		return 0, "", fmt.Errorf("check: bench %v: %w", s, err)
+	}
+	for i := int64(0); i < cfg.Warmup; i++ {
+		inj.Tick(net)
+		net.Step()
+	}
+	best := time.Duration(1<<63 - 1)
+	for b := 0; b < cfg.Blocks; b++ {
+		start := time.Now()
+		for i := int64(0); i < cfg.Cycles; i++ {
+			inj.Tick(net)
+			net.Step()
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, net.Protocol().Family, nil
+}
+
 // RunBench measures the cycle engine's throughput for every registered
-// scheme. It is a wall-clock measurement, not part of the determinism
-// battery — digests are unaffected by how fast cycles execute.
+// scheme, untraced and with a minimal tap armed. It is a wall-clock
+// measurement, not part of the determinism battery — digests are
+// unaffected by how fast cycles execute.
 func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	rep := &BenchReport{
 		Seed:      cfg.Seed,
@@ -60,44 +111,24 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 	}
-	// Effectively unbounded window: a benchmark must never cross into the
-	// drain phase.
-	window := sim.Window{Warmup: 0, Measure: 1 << 40, Drain: 0}
 	for _, s := range core.Schemes() {
-		ncfg := core.DefaultConfig(s)
-		ncfg.Seed = cfg.Seed
-		ncfg.CheckInvariants = false
-		net, err := core.NewNetwork(ncfg, window)
+		best, family, err := benchScheme(s, cfg, false)
 		if err != nil {
-			return nil, fmt.Errorf("check: bench %v: %w", s, err)
+			return nil, err
 		}
-		inj, err := traffic.NewInjector(traffic.UniformRandom{}, cfg.Load, ncfg.Nodes, ncfg.CoresPerNode, ncfg.Seed)
+		tracedBest, _, err := benchScheme(s, cfg, true)
 		if err != nil {
-			return nil, fmt.Errorf("check: bench %v: %w", s, err)
-		}
-		for i := int64(0); i < cfg.Warmup; i++ {
-			inj.Tick(net)
-			net.Step()
-		}
-		best := time.Duration(1<<63 - 1)
-		for b := 0; b < cfg.Blocks; b++ {
-			start := time.Now()
-			for i := int64(0); i < cfg.Cycles; i++ {
-				inj.Tick(net)
-				net.Step()
-			}
-			if d := time.Since(start); d < best {
-				best = d
-			}
+			return nil, err
 		}
 		secs := best.Seconds()
 		rep.Points = append(rep.Points, BenchPoint{
-			Scheme:       s.String(),
-			Family:       net.Protocol().Family,
-			Cycles:       cfg.Cycles,
-			BestSeconds:  secs,
-			CyclesPerSec: float64(cfg.Cycles) / secs,
-			NsPerCycle:   secs * 1e9 / float64(cfg.Cycles),
+			Scheme:           s.String(),
+			Family:           family,
+			Cycles:           cfg.Cycles,
+			BestSeconds:      secs,
+			CyclesPerSec:     float64(cfg.Cycles) / secs,
+			NsPerCycle:       secs * 1e9 / float64(cfg.Cycles),
+			TracedNsPerCycle: tracedBest.Seconds() * 1e9 / float64(cfg.Cycles),
 		})
 	}
 	return rep, nil
@@ -112,11 +143,12 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 
 // WriteText emits a human-readable table.
 func (r *BenchReport) WriteText(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%-18s %-18s %14s %12s\n", "scheme", "family", "cycles/sec", "ns/cycle"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-18s %-18s %14s %12s %16s\n", "scheme", "family", "cycles/sec", "ns/cycle", "traced ns/cycle"); err != nil {
 		return err
 	}
 	for _, p := range r.Points {
-		if _, err := fmt.Fprintf(w, "%-18s %-18s %14.0f %12.1f\n", p.Scheme, p.Family, p.CyclesPerSec, p.NsPerCycle); err != nil {
+		if _, err := fmt.Fprintf(w, "%-18s %-18s %14.0f %12.1f %16.1f\n",
+			p.Scheme, p.Family, p.CyclesPerSec, p.NsPerCycle, p.TracedNsPerCycle); err != nil {
 			return err
 		}
 	}

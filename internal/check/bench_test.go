@@ -1,0 +1,64 @@
+package check
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchTapOverheadGuard is the tentpole's zero-overhead guard: a nil
+// tap must cost nothing measurable on the hot path, and an armed minimal
+// tap must stay within a small factor. Wall-clock comparisons on shared
+// CI machines are noisy, so the factors are deliberately lenient — this
+// is a tripwire for gross regressions (a tap check landing inside the
+// token-scan inner loop), not a microbenchmark. Skipped under -short and
+// under the race detector's ~10x slowdown.
+func TestBenchTapOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock guard skipped under the race detector")
+	}
+	cfg := DefaultBench(1)
+	cfg.Warmup, cfg.Cycles, cfg.Blocks = 500, 2000, 3
+	rep, err := RunBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		if p.TracedNsPerCycle > p.NsPerCycle*2.0 {
+			t.Errorf("%s: armed tap %.1f ns/cycle vs nil tap %.1f — more than 2x",
+				p.Scheme, p.TracedNsPerCycle, p.NsPerCycle)
+		}
+	}
+
+	// Against the checked-in baseline: the nil-tap engine must stay within
+	// a generous envelope of BENCH_core.json (different machines and CPU
+	// contention make tight bounds meaningless; 5x catches an accidental
+	// always-on tracing path).
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_core.json"))
+	if err != nil {
+		t.Fatalf("reading BENCH_core.json baseline: %v", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("parsing BENCH_core.json: %v", err)
+	}
+	baseline := map[string]float64{}
+	for _, p := range base.Points {
+		baseline[p.Scheme] = p.NsPerCycle
+	}
+	for _, p := range rep.Points {
+		want, ok := baseline[p.Scheme]
+		if !ok {
+			t.Errorf("%s: missing from BENCH_core.json baseline", p.Scheme)
+			continue
+		}
+		if p.NsPerCycle > want*5.0 {
+			t.Errorf("%s: %.1f ns/cycle is more than 5x the %.1f baseline",
+				p.Scheme, p.NsPerCycle, want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package check
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip themselves under its ~10x slowdown.
+const raceEnabled = true

@@ -1,0 +1,89 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/core"
+	"photon/internal/ptrace"
+)
+
+// AuditSpans reconciles an assembled protocol trace against the
+// network's conservation ledger: the per-packet spans, summed, must
+// reproduce the cumulative counters exactly, and every span must satisfy
+// the chain invariants (gap-free, non-overlapping, phase sums equal to
+// end-to-end latency for delivered packets). Like Audit it holds at any
+// cycle — undelivered spans are located via the occupancy terms. It is
+// defined over fault-free runs (an armed injector breaks per-packet
+// attribution by design; use the digest-equality checks there instead).
+func AuditSpans(tr *ptrace.TraceResult, a core.Accounting) error {
+	var v []string
+	fail := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+	if a.FaultsInjected != 0 {
+		return fmt.Errorf("check: AuditSpans is defined over fault-free runs (%d faults fired)", a.FaultsInjected)
+	}
+
+	var delivered, local, neverEnqueued int64
+	var launches, drops, circulations, retransmits int64
+	for _, s := range tr.Spans {
+		if err := s.Validate(); err != nil {
+			fail("span invariant: %v", err)
+		}
+		if s.Faulted {
+			fail("packet %d marked faulted on a fault-free run", s.ID)
+		}
+		if s.Delivered >= 0 {
+			delivered++
+			if s.Local {
+				local++
+			}
+		} else if len(s.Phases) == 0 {
+			// Injected but never enqueued: rejected by a bounded queue or
+			// still inside the injection pipeline.
+			neverEnqueued++
+		}
+		launches += int64(s.Launches)
+		drops += int64(s.Drops)
+		circulations += int64(s.Circulations)
+		if s.Launches > 1 {
+			retransmits += int64(s.Launches - 1)
+		}
+	}
+
+	if got := int64(len(tr.Spans)); got != a.Injected {
+		fail("trace holds %d spans, ledger injected %d", got, a.Injected)
+	}
+	if delivered != a.Delivered {
+		fail("trace delivered %d, ledger %d", delivered, a.Delivered)
+	}
+	if local != a.LocalDelivered {
+		fail("trace local deliveries %d, ledger %d", local, a.LocalDelivered)
+	}
+	if launches != a.Launches {
+		fail("span launches sum to %d, ledger %d", launches, a.Launches)
+	}
+	if drops != a.Drops {
+		fail("span drops sum to %d, ledger %d", drops, a.Drops)
+	}
+	if circulations != a.Circulations {
+		fail("span circulations sum to %d, ledger %d", circulations, a.Circulations)
+	}
+	// Every launch after a packet's first is a retransmission, whatever
+	// triggered it.
+	if retransmits != a.Retransmits {
+		fail("span extra launches sum to %d, ledger retransmits %d", retransmits, a.Retransmits)
+	}
+	// A span with no phases never left the injection pipeline: it was
+	// either rejected by a bounded queue or still sits in the pipeline.
+	if want := a.QueueRejected + int64(a.Pipeline); neverEnqueued != want {
+		fail("trace never-enqueued %d != queue-rejected %d + pipeline occupancy %d",
+			neverEnqueued, a.QueueRejected, a.Pipeline)
+	}
+
+	if len(v) > 0 {
+		return fmt.Errorf("check: span audit failed (%s):\n  %s", a.Scheme, strings.Join(v, "\n  "))
+	}
+	return nil
+}

@@ -45,6 +45,28 @@ func BenchmarkStep(b *testing.B) {
 	}
 }
 
+// countTap is a minimal Tracer for overhead measurement.
+type countTap struct{ n uint64 }
+
+func (t *countTap) Observe(core.Event) { t.n++ }
+
+// BenchmarkStepTraced is BenchmarkStep with a minimal event tap armed —
+// diff against BenchmarkStep to see the marginal cost of observing the
+// lifecycle stream (the nil-tap path is the one BENCH_core.json gates).
+func BenchmarkStepTraced(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			net, inj := benchNetwork(b, s)
+			net.SetTracer(&countTap{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inj.Tick(net)
+				net.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkRunCycles measures a 1000-cycle block per scheme, amortising
 // per-call overhead the way sweeps drive the network; b.N counts blocks,
 // so cycles/sec is 1000*N/elapsed.

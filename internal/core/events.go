@@ -52,7 +52,39 @@ const (
 	// already-accepted packet (its ACK had been lost) and discarded it,
 	// re-issuing the ACK.
 	EvDupDrop
+
+	// Tap-only events (appended after EvDupDrop, same numbering-stability
+	// reason). These fire only toward an attached Tracer and are never
+	// folded into the run digest: they exist for latency attribution, not
+	// for the determinism fingerprint, and arming a tap must reproduce
+	// every recorded digest bit for bit. firstTapOnly marks the boundary.
+
+	// EvHeadReady: the packet became head-eligible for channel arbitration
+	// (the cycle Packet.ReadyAt records; fires once per packet).
+	EvHeadReady
+	// EvTokenCapture: a node captured the channel's arbitration token (a
+	// relayed global token or a distributed slot grant). Packet-less; Aux
+	// is tokenAux(node, home).
+	EvTokenCapture
+	// EvTokenRelease: a global-token holder released the token back onto
+	// the arbitration loop. Packet-less; Aux is tokenAux(node, home).
+	EvTokenRelease
+	// EvSetasideEnter: the launched packet was parked in a setaside slot
+	// to await its handshake (Setaside policy only).
+	EvSetasideEnter
+	// EvSetasideExit: the packet left its setaside slot (its ACK arrived).
+	// A NACKed packet stays in its slot awaiting retransmission and exits
+	// only when a later copy is finally ACKed.
+	EvSetasideExit
 )
+
+// firstTapOnly is the first tap-only event type: everything below it is
+// canonical (digest-folded), everything from it on feeds only the tap.
+const firstTapOnly = EvHeadReady
+
+// TapOnly reports whether e is a tap-only event — observable through a
+// Tracer but never folded into the run digest.
+func (e EventType) TapOnly() bool { return e >= firstTapOnly }
 
 func (e EventType) String() string {
 	switch e {
@@ -82,6 +114,16 @@ func (e EventType) String() string {
 		return "token-regen"
 	case EvDupDrop:
 		return "dup-drop"
+	case EvHeadReady:
+		return "head-ready"
+	case EvTokenCapture:
+		return "token-capture"
+	case EvTokenRelease:
+		return "token-release"
+	case EvSetasideEnter:
+		return "setaside-enter"
+	case EvSetasideExit:
+		return "setaside-exit"
 	default:
 		return "event?"
 	}
@@ -99,18 +141,42 @@ type Event struct {
 
 // Trace installs an event observer on the network. The hook fires inline
 // during Step, so observers must be fast and must not mutate the network;
-// pass nil to remove. Delivery events still fire OnDeliver as well.
+// pass nil to remove. Delivery events still fire OnDeliver as well. The
+// hook sees only canonical (digest-folded) events; a Tracer attached with
+// SetTracer additionally receives the tap-only attribution events.
 func (n *Network) Trace(hook func(Event)) {
 	n.onEvent = hook
 }
 
-// emit folds the event into the run digest and fires the observer if one
-// is installed. The digest fold is unconditional: the fingerprint must
-// cover every run, traced or not, or repeat runs could not be compared.
+// Tracer is a per-run protocol event sink: it receives the complete
+// lifecycle stream — every canonical digest event plus the tap-only
+// arbitration-side events (EvHeadReady, EvTokenCapture/Release,
+// EvSetasideEnter/Exit) the digest never needed. Observe fires inline
+// during Step, so implementations must be fast, must not mutate the
+// network, and should not retain the Event's Packet pointer beyond the
+// call (copy what they need — the engine keeps mutating the packet).
+type Tracer interface {
+	Observe(Event)
+}
+
+// SetTracer attaches (or, with nil, detaches) the run's event tap. A nil
+// tap costs nothing on the hot path beyond a pointer test, and an armed
+// tap never perturbs the run digest: tap-only events are not folded, so
+// traced and untraced runs of one (Config, traffic) pair are bit-identical.
+func (n *Network) SetTracer(t Tracer) {
+	n.tap = t
+}
+
+// emit folds the event into the run digest and fires the observers. The
+// digest fold is unconditional: the fingerprint must cover every run,
+// traced or not, or repeat runs could not be compared.
 func (n *Network) emit(t EventType, p *router.Packet) {
 	n.stats.digest.observe(eventHash(n.now, t, p))
 	if n.onEvent != nil {
 		n.onEvent(Event{Cycle: n.now, Type: t, Packet: p})
+	}
+	if n.tap != nil {
+		n.tap.Observe(Event{Cycle: n.now, Type: t, Packet: p})
 	}
 }
 
@@ -122,4 +188,33 @@ func (n *Network) emitMeta(t EventType, aux uint64) {
 	if n.onEvent != nil {
 		n.onEvent(Event{Cycle: n.now, Type: t, Aux: aux})
 	}
+	if n.tap != nil {
+		n.tap.Observe(Event{Cycle: n.now, Type: t, Aux: aux})
+	}
+}
+
+// emitTap fires a tap-only packet event: tracer-visible, digest-inert.
+func (n *Network) emitTap(t EventType, p *router.Packet) {
+	if n.tap != nil {
+		n.tap.Observe(Event{Cycle: n.now, Type: t, Packet: p})
+	}
+}
+
+// emitTapMeta fires a tap-only packet-less event (token motion).
+func (n *Network) emitTapMeta(t EventType, aux uint64) {
+	if n.tap != nil {
+		n.tap.Observe(Event{Cycle: n.now, Type: t, Aux: aux})
+	}
+}
+
+// tokenAux encodes a token capture/release event's (node, home) pair into
+// the tap aux word; TokenAux decodes it for trace consumers.
+func tokenAux(node, home int) uint64 {
+	return uint64(uint32(node))<<32 | uint64(uint32(home))
+}
+
+// TokenAux decodes an EvTokenCapture / EvTokenRelease aux word into the
+// capturing (or releasing) node id and the channel home id.
+func TokenAux(aux uint64) (node, home int) {
+	return int(uint32(aux >> 32)), int(uint32(aux))
 }

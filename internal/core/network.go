@@ -67,6 +67,11 @@ type Network struct {
 	// onEvent is the protocol observer installed with Trace.
 	onEvent func(Event)
 
+	// tap is the optional lifecycle-event sink installed with SetTracer.
+	// Unlike onEvent it also receives the tap-only attribution events;
+	// nil (the default) keeps every emit site to a single pointer test.
+	tap Tracer
+
 	injPipe *sim.DelayLine[*router.Packet]
 
 	// Fault injection and recovery. faults is nil on fault-free runs —
@@ -514,6 +519,11 @@ func (n *Network) launch(nd *nodeState, q *queueState, c *channel, pkt *router.P
 		q.out.Arm(pkt, n.now, n.retxBase, n.backoffCap)
 	}
 	n.emit(EvLaunch, pkt)
+	if !retx && q.out.Policy() == router.Setaside {
+		// A first launch under Setaside parks the packet in a side slot;
+		// a retransmission re-sends the copy already parked there.
+		n.emitTap(EvSetasideEnter, pkt)
+	}
 	n.updateQueueWant(nd, q)
 }
 
@@ -550,6 +560,7 @@ func (n *Network) updateQueueWant(nd *nodeState, q *queueState) {
 		want = pkt.Dst
 		if pkt.ReadyAt < 0 {
 			pkt.ReadyAt = n.now
+			n.emitTap(EvHeadReady, pkt)
 		}
 	}
 	if want == q.want {

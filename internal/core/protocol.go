@@ -179,6 +179,7 @@ func bindGlobalCapture(n *Network, c *channel, rc *flow.RelayedCredits) arbiter.
 		c.fair.OnCapture(id)
 		nd.holding = c.home
 		c.holdCount = 0
+		n.emitTapMeta(EvTokenCapture, tokenAux(id, c.home))
 		return true
 	}
 }
@@ -210,6 +211,7 @@ func bindSlotCapture(n *Network, c *channel, sc *flow.SlotCredits) arbiter.Captu
 			sc.Capture()
 		}
 		n.grants = append(n.grants, grant{node: nd, ch: c})
+		n.emitTapMeta(EvTokenCapture, tokenAux(id, c.home))
 		return true
 	}
 }
@@ -294,6 +296,7 @@ func bindHeldLaunch(n *Network, c *channel, rc *flow.RelayedCredits) func(now in
 			// so it releases the token rather than sit on it silently.
 			c.glob.Release()
 			nd.holding = -1
+			n.emitTapMeta(EvTokenRelease, tokenAux(nd.id, c.home))
 			return
 		}
 		canHold := n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold
@@ -318,10 +321,12 @@ func bindHeldLaunch(n *Network, c *channel, rc *flow.RelayedCredits) func(now in
 			if !keep {
 				c.glob.Release()
 				nd.holding = -1
+				n.emitTapMeta(EvTokenRelease, tokenAux(nd.id, c.home))
 			}
 		} else {
 			c.glob.Release()
 			nd.holding = -1
+			n.emitTapMeta(EvTokenRelease, tokenAux(nd.id, c.home))
 		}
 	}
 }

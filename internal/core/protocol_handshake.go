@@ -146,6 +146,10 @@ func bindHandshakeDelivery(n *Network, c *channel) func(now int64) {
 					hit = true
 					if ack.Positive {
 						n.emit(EvAck, pkt)
+						if q.out.Policy() == router.Setaside {
+							// The ACK released the packet's setaside slot.
+							n.emitTap(EvSetasideExit, pkt)
+						}
 					} else {
 						n.emit(EvNack, pkt)
 					}

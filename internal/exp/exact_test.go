@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/ptrace"
+	"photon/internal/traffic"
+)
+
+// TestExactBreakdownInternalConsistency: the span phases of every scheme
+// sum to the measured latency at the integer level — no tolerance.
+func TestExactBreakdownInternalConsistency(t *testing.T) {
+	rows, table, err := ExactBreakdown(0.13, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 || table.Len() != 7 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		var phaseSum int64
+		for _, c := range r.Attr.Phases {
+			phaseSum += c
+		}
+		if phaseSum != r.Attr.Total {
+			t.Errorf("%v: phase cycles sum to %d, total latency is %d", r.Scheme, phaseSum, r.Attr.Total)
+		}
+		if r.Attr.Spans != r.Result.Delivered {
+			t.Errorf("%v: %d aggregated spans vs %d measured deliveries", r.Scheme, r.Attr.Spans, r.Result.Delivered)
+		}
+		if r.Total != r.Result.AvgLatency {
+			t.Errorf("%v: exact mean %v != measured AvgLatency %v", r.Scheme, r.Total, r.Result.AvgLatency)
+		}
+	}
+}
+
+// TestExactBreakdownDifferential compares exact attribution against the
+// legacy whole-run-average breakdown on every scheme at a contended
+// point. Where the legacy decomposition is exact — total latency, and
+// the queue/arbitration terms over the launched population — the two
+// must agree to the bit. The legacy flight+eject term is genuinely
+// approximate: it subtracts a remote-only average from an
+// all-deliveries average, so it is off by exactly ΣQW·L/(N·M) cycles
+// (L local deliveries, M remote, N = L+M). The test asserts that bound,
+// not a hand-waved tolerance.
+func TestExactBreakdownDifferential(t *testing.T) {
+	const load = 0.13
+	opts := quickOpts()
+	exact, _, err := ExactBreakdown(load, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _, err := LatencyBreakdown(load, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != len(legacy) {
+		t.Fatalf("%d exact rows vs %d legacy rows", len(exact), len(legacy))
+	}
+	for i, ex := range exact {
+		lg := legacy[i]
+		if ex.Scheme != lg.Scheme {
+			t.Fatalf("row %d: scheme mismatch %v vs %v", i, ex.Scheme, lg.Scheme)
+		}
+		attr := ex.Attr
+		n, m, l := attr.Spans, attr.Remote(), attr.Local
+		if n == 0 || m == 0 {
+			t.Fatalf("%v: degenerate population n=%d m=%d", ex.Scheme, n, m)
+		}
+
+		// Exact where the old path is exact: total latency…
+		if ex.Total != lg.Total {
+			t.Errorf("%v: total %v != legacy total %v", ex.Scheme, ex.Total, lg.Total)
+		}
+		// …the arbitration term (token wait over launched packets)…
+		arb := float64(attr.Phases[ptrace.PhaseTokenWait]) / float64(m)
+		if arb != lg.Arbitration {
+			t.Errorf("%v: token-wait %v != legacy arbitration %v", ex.Scheme, arb, lg.Arbitration)
+		}
+		// …and the queueing term (enqueue to head-eligibility).
+		queue := float64(attr.Phases[ptrace.PhaseQueue]) / float64(m)
+		if math.Abs(queue-lg.Queueing) > 1e-9 {
+			t.Errorf("%v: queue %v != legacy queueing %v", ex.Scheme, queue, lg.Queueing)
+		}
+
+		// Bounded where the old path is approximate: its flight+eject
+		// remainder mixes populations. |legacy − exact| must equal
+		// ΣQW·L/(N·M) up to float rounding.
+		sumQW := attr.Phases[ptrace.PhaseQueue] + attr.Phases[ptrace.PhaseTokenWait]
+		exactRest := float64(attr.Total-sumQW) / float64(n)
+		bound := float64(sumQW) * float64(l) / (float64(n) * float64(m))
+		if diff := math.Abs(lg.FlightAndEject - exactRest); diff > bound+1e-9 {
+			t.Errorf("%v: legacy flight+eject %v vs exact %v: |diff| %v exceeds population bound %v",
+				ex.Scheme, lg.FlightAndEject, exactRest, diff, bound)
+		}
+	}
+}
+
+// TestTracedPointDigestInert: arming the tap must not move the digest —
+// the traced run of a point is bit-identical to the untraced run.
+func TestTracedPointDigestInert(t *testing.T) {
+	p := Point{Scheme: core.DHSSetaside, Pattern: traffic.UniformRandom{}, Rate: 0.13}
+	plain, err := RunPoint(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, tr, err := RunTracedPoint(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Digest != plain.Digest || traced.DigestEvents != plain.DigestEvents {
+		t.Fatalf("tap moved the digest: traced %016x/%d, plain %016x/%d",
+			traced.Digest, traced.DigestEvents, plain.Digest, plain.DigestEvents)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("traced run assembled no spans")
+	}
+}

@@ -1,0 +1,87 @@
+package ptrace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"photon/internal/core"
+)
+
+// Records have a fixed-width little-endian wire form so a recorded stream
+// can be persisted, diffed, and — crucially — fuzzed: the assembler's
+// error-not-panic contract is exercised by decoding arbitrary bytes and
+// feeding them to Assemble.
+//
+// Layout (42 bytes per record):
+//
+//	off  0  type        u8
+//	off  1  flags       u8   (bit 0: meta, bit 1: measured)
+//	off  2  cycle       i64
+//	off 10  id          u64
+//	off 18  src         i32
+//	off 22  dst         i32
+//	off 26  aux         u64
+//	off 34  deliveredAt i64
+const recordSize = 42
+
+const (
+	flagMeta     = 1 << 0
+	flagMeasured = 1 << 1
+)
+
+// EncodeRecords serialises the stream in its recorded order.
+func EncodeRecords(records []Record) []byte {
+	out := make([]byte, 0, len(records)*recordSize)
+	var buf [recordSize]byte
+	for _, r := range records {
+		buf[0] = byte(r.Type)
+		buf[1] = 0
+		if r.Meta {
+			buf[1] |= flagMeta
+		}
+		if r.Measured {
+			buf[1] |= flagMeasured
+		}
+		binary.LittleEndian.PutUint64(buf[2:], uint64(r.Cycle))
+		binary.LittleEndian.PutUint64(buf[10:], r.ID)
+		binary.LittleEndian.PutUint32(buf[18:], uint32(r.Src))
+		binary.LittleEndian.PutUint32(buf[22:], uint32(r.Dst))
+		binary.LittleEndian.PutUint64(buf[26:], r.Aux)
+		binary.LittleEndian.PutUint64(buf[34:], uint64(r.DeliveredAt))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeRecords parses a serialised stream. It validates only the frame
+// (length a whole number of records, known flag bits, event type in
+// range); stream-level coherence is Assemble's job, so a decoded stream
+// may still be arbitrarily malformed.
+func DecodeRecords(data []byte) ([]Record, error) {
+	if len(data)%recordSize != 0 {
+		return nil, fmt.Errorf("ptrace: %d bytes is not a whole number of %d-byte records", len(data), recordSize)
+	}
+	records := make([]Record, 0, len(data)/recordSize)
+	for off := 0; off < len(data); off += recordSize {
+		b := data[off : off+recordSize]
+		if b[1]&^(flagMeta|flagMeasured) != 0 {
+			return nil, fmt.Errorf("ptrace: record %d: unknown flag bits %#x", off/recordSize, b[1])
+		}
+		t := core.EventType(b[0])
+		if t.String() == "event?" {
+			return nil, fmt.Errorf("ptrace: record %d: unknown event type %d", off/recordSize, b[0])
+		}
+		records = append(records, Record{
+			Type:        t,
+			Meta:        b[1]&flagMeta != 0,
+			Measured:    b[1]&flagMeasured != 0,
+			Cycle:       int64(binary.LittleEndian.Uint64(b[2:])),
+			ID:          binary.LittleEndian.Uint64(b[10:]),
+			Src:         int32(binary.LittleEndian.Uint32(b[18:])),
+			Dst:         int32(binary.LittleEndian.Uint32(b[22:])),
+			Aux:         binary.LittleEndian.Uint64(b[26:]),
+			DeliveredAt: int64(binary.LittleEndian.Uint64(b[34:])),
+		})
+	}
+	return records, nil
+}

@@ -1,0 +1,117 @@
+package ptrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"photon/internal/core"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (load the output at chrome://tracing or https://ui.perfetto.dev).
+// Timestamps are simulator cycles, not microseconds: the viewers only
+// need a monotone unit.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace as a Chrome trace-event JSON array:
+// one complete ("X") slice per span phase, grouped by source node (pid)
+// and packet id (tid), plus instant events for token captures and
+// faults. Undelivered spans export their phase prefix; faulted spans
+// export no phases (they have none) but keep their instants.
+func WriteChromeTrace(w io.Writer, tr *TraceResult) error {
+	events := make([]chromeEvent, 0, len(tr.Spans)*4+len(tr.Tokens)+len(tr.Faults))
+	for _, s := range tr.Spans {
+		for _, p := range s.Phases {
+			events = append(events, chromeEvent{
+				Name:  p.Kind.String(),
+				Phase: "X",
+				TS:    p.From,
+				Dur:   p.Len(),
+				PID:   s.Src,
+				TID:   s.ID,
+				Args: map[string]any{
+					"dst":      s.Dst,
+					"measured": s.Measured,
+				},
+			})
+		}
+		if s.Setaside > 0 {
+			events = append(events, chromeEvent{
+				Name: "setaside", Phase: "i", TS: s.Injected,
+				PID: s.Src, TID: s.ID, Scope: "t",
+				Args: map[string]any{"cycles": s.Setaside},
+			})
+		}
+	}
+	for _, t := range tr.Tokens {
+		node, home := core.TokenAux(t.Aux)
+		events = append(events, chromeEvent{
+			Name: t.Type.String(), Phase: "i", TS: t.Cycle,
+			PID: node, Scope: "t",
+			Args: map[string]any{"home": home},
+		})
+	}
+	for _, f := range tr.Faults {
+		events = append(events, chromeEvent{
+			Name: "fault", Phase: "i", TS: f.Cycle, Scope: "g",
+			Args: map[string]any{"aux": f.Aux},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteFlame renders the trace's aggregate attribution as folded stack
+// lines ("frame;frame;frame cycles", one per line) — the input format of
+// flame-graph builders. The stack root is the given label (typically the
+// scheme name), split by local/remote delivery, with one leaf per phase;
+// setaside residency appears as an extra annotated leaf because it
+// overlaps the flight and handshake phases rather than joining the sum.
+func WriteFlame(w io.Writer, tr *TraceResult, label string) error {
+	var local, remote Attribution
+	for _, s := range tr.Spans {
+		if s.Delivered < 0 || s.Faulted {
+			continue
+		}
+		a := &remote
+		if s.Local {
+			a = &local
+		}
+		a.Spans++
+		for _, p := range s.Phases {
+			a.Phases[p.Kind] += p.Len()
+		}
+		a.Total += s.Latency()
+		a.Setaside += s.Setaside
+	}
+	emit := func(class string, a Attribution) error {
+		for k := 0; k < NumPhases; k++ {
+			if a.Phases[k] == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s;%s;%s %d\n", label, class, PhaseKind(k), a.Phases[k]); err != nil {
+				return err
+			}
+		}
+		if a.Setaside > 0 {
+			if _, err := fmt.Fprintf(w, "%s;%s;(setaside overlap) %d\n", label, class, a.Setaside); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("remote", remote); err != nil {
+		return err
+	}
+	return emit("local", local)
+}

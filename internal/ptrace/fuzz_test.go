@@ -1,0 +1,120 @@
+package ptrace
+
+import (
+	"testing"
+
+	"photon/internal/core"
+)
+
+// corpusSeeds are the well-formed streams seeding the fuzzer (also
+// checked in under testdata/fuzz/FuzzAssemble, regenerated with
+// `go run gen_corpus.go`): one per protocol shape, so mutation starts
+// from every grammar branch rather than from noise.
+func corpusSeeds() [][]Record {
+	return [][]Record{
+		// Clean remote delivery.
+		{
+			pktR(10, core.EvInject, 1),
+			pktR(12, core.EvEnqueue, 1),
+			pktR(15, core.EvHeadReady, 1),
+			pktR(20, core.EvLaunch, 1),
+			pktR(28, core.EvAccept, 1),
+			deliverR(30, 1, 31),
+			pktR(36, core.EvAck, 1),
+		},
+		// NACK and retransmission with setaside residency.
+		{
+			pktR(0, core.EvInject, 4),
+			pktR(2, core.EvEnqueue, 4),
+			pktR(3, core.EvHeadReady, 4),
+			pktR(4, core.EvLaunch, 4),
+			pktR(4, core.EvSetasideEnter, 4),
+			pktR(10, core.EvDrop, 4),
+			pktR(16, core.EvNack, 4),
+			pktR(18, core.EvLaunch, 4),
+			pktR(24, core.EvAccept, 4),
+			deliverR(25, 4, 26),
+			pktR(30, core.EvAck, 4),
+			pktR(30, core.EvSetasideExit, 4),
+		},
+		// Circulation loops.
+		{
+			pktR(0, core.EvInject, 2),
+			pktR(2, core.EvEnqueue, 2),
+			pktR(2, core.EvHeadReady, 2),
+			pktR(3, core.EvLaunch, 2),
+			pktR(9, core.EvReinject, 2),
+			pktR(73, core.EvAccept, 2),
+			deliverR(74, 2, 75),
+		},
+		// Local delivery plus token meta traffic.
+		{
+			{Cycle: 3, Type: core.EvTokenCapture, Meta: true, Aux: 1<<32 | 5, DeliveredAt: -1},
+			pktR(5, core.EvInject, 8),
+			deliverR(7, 8, 8),
+			{Cycle: 9, Type: core.EvTokenRelease, Meta: true, Aux: 1<<32 | 5, DeliveredAt: -1},
+		},
+		// Fault-touched packet (lenient path).
+		{
+			pktR(0, core.EvInject, 6),
+			pktR(2, core.EvEnqueue, 6),
+			pktR(3, core.EvHeadReady, 6),
+			pktR(4, core.EvLaunch, 6),
+			pktR(40, core.EvTimeout, 6),
+			pktR(41, core.EvLaunch, 6),
+			pktR(47, core.EvAccept, 6),
+			deliverR(48, 6, 49),
+		},
+	}
+}
+
+func pktR(cycle int64, t core.EventType, id uint64) Record {
+	return Record{Cycle: cycle, Type: t, ID: id, Src: 3, Dst: 7, Measured: true, DeliveredAt: -1}
+}
+
+func deliverR(cycle int64, id uint64, deliveredAt int64) Record {
+	r := pktR(cycle, core.EvDeliver, id)
+	r.DeliveredAt = deliveredAt
+	return r
+}
+
+// FuzzAssemble fuzzes the decode→assemble pipeline: arbitrary bytes must
+// either fail to decode, fail to assemble with an error, or produce
+// spans that pass Validate. Panics (and invariant-violating spans) are
+// the failure mode being hunted.
+func FuzzAssemble(f *testing.F) {
+	for _, seed := range corpusSeeds() {
+		f.Add(EncodeRecords(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := DecodeRecords(data)
+		if err != nil {
+			return
+		}
+		tr, err := Assemble(records)
+		if err != nil {
+			return
+		}
+		for _, s := range tr.Spans {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("assembled span violates invariants: %v", err)
+			}
+		}
+		// Round-trip: a decodable stream re-encodes to the same bytes.
+		if got := EncodeRecords(records); !equalBytes(got, data) {
+			t.Fatalf("re-encoded stream differs from input")
+		}
+	})
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+//go:build ignore
+
+// gen_corpus regenerates the checked-in fuzz seed corpus under
+// testdata/fuzz/FuzzAssemble: one file per well-formed protocol stream
+// (the same streams FuzzAssemble seeds via f.Add), in the `go test fuzz
+// v1` encoding. Run from this directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"photon/internal/core"
+	"photon/internal/ptrace"
+)
+
+func pkt(cycle int64, t core.EventType, id uint64) ptrace.Record {
+	return ptrace.Record{Cycle: cycle, Type: t, ID: id, Src: 3, Dst: 7, Measured: true, DeliveredAt: -1}
+}
+
+func deliver(cycle int64, id uint64, deliveredAt int64) ptrace.Record {
+	r := pkt(cycle, core.EvDeliver, id)
+	r.DeliveredAt = deliveredAt
+	return r
+}
+
+func main() {
+	seeds := map[string][]ptrace.Record{
+		"clean-delivery": {
+			pkt(10, core.EvInject, 1),
+			pkt(12, core.EvEnqueue, 1),
+			pkt(15, core.EvHeadReady, 1),
+			pkt(20, core.EvLaunch, 1),
+			pkt(28, core.EvAccept, 1),
+			deliver(30, 1, 31),
+			pkt(36, core.EvAck, 1),
+		},
+		"nack-setaside": {
+			pkt(0, core.EvInject, 4),
+			pkt(2, core.EvEnqueue, 4),
+			pkt(3, core.EvHeadReady, 4),
+			pkt(4, core.EvLaunch, 4),
+			pkt(4, core.EvSetasideEnter, 4),
+			pkt(10, core.EvDrop, 4),
+			pkt(16, core.EvNack, 4),
+			pkt(18, core.EvLaunch, 4),
+			pkt(24, core.EvAccept, 4),
+			deliver(25, 4, 26),
+			pkt(30, core.EvAck, 4),
+			pkt(30, core.EvSetasideExit, 4),
+		},
+		"circulation": {
+			pkt(0, core.EvInject, 2),
+			pkt(2, core.EvEnqueue, 2),
+			pkt(2, core.EvHeadReady, 2),
+			pkt(3, core.EvLaunch, 2),
+			pkt(9, core.EvReinject, 2),
+			pkt(73, core.EvAccept, 2),
+			deliver(74, 2, 75),
+		},
+		"local-and-token": {
+			{Cycle: 3, Type: core.EvTokenCapture, Meta: true, Aux: 1<<32 | 5, DeliveredAt: -1},
+			pkt(5, core.EvInject, 8),
+			deliver(7, 8, 8),
+			{Cycle: 9, Type: core.EvTokenRelease, Meta: true, Aux: 1<<32 | 5, DeliveredAt: -1},
+		},
+		"fault-lenient": {
+			pkt(0, core.EvInject, 6),
+			pkt(2, core.EvEnqueue, 6),
+			pkt(3, core.EvHeadReady, 6),
+			pkt(4, core.EvLaunch, 6),
+			pkt(40, core.EvTimeout, 6),
+			pkt(41, core.EvLaunch, 6),
+			pkt(47, core.EvAccept, 6),
+			deliver(48, 6, 49),
+		},
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzAssemble")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, records := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", ptrace.EncodeRecords(records))
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 //	verify -quick -json    # machine-readable pass/fail summary
 //	verify -bench          # cycles/sec per scheme (perf baseline, no checks)
 //	verify -bench -json    # write the BENCH_core.json format to stdout
+//	verify -bench -gate    # fail on >25% per-scheme ns/cycle regression vs BENCH_core.json
 //
 // With -trace it runs one point with the protocol event tap armed and
 // exports the assembled per-packet spans:
@@ -79,12 +80,15 @@ func status(pass bool, detail string) string {
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "reduced load grid and shorter windows (the CI battery)")
-		seed    = flag.Uint64("seed", 1, "base seed for the traffic tapes")
-		csv     = flag.Bool("csv", false, "emit the per-point table as CSV")
-		chaos   = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
-		bench   = flag.Bool("bench", false, "measure cycles/sec per scheme instead of running checks")
-		jsonOut = flag.Bool("json", false, "emit a machine-readable pass/fail summary")
+		quick     = flag.Bool("quick", false, "reduced load grid and shorter windows (the CI battery)")
+		seed      = flag.Uint64("seed", 1, "base seed for the traffic tapes")
+		csv       = flag.Bool("csv", false, "emit the per-point table as CSV")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
+		bench     = flag.Bool("bench", false, "measure cycles/sec per scheme instead of running checks")
+		gate      = flag.Bool("gate", false, "with -bench: fail if any scheme regressed beyond -tolerance vs -baseline")
+		baseline  = flag.String("baseline", "BENCH_core.json", "with -bench -gate: committed baseline report to compare against")
+		tolerance = flag.Float64("tolerance", 0.25, "with -bench -gate: allowed fractional ns/cycle regression per scheme")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable pass/fail summary")
 
 		trace        = flag.Bool("trace", false, "trace one point with the event tap and export per-packet spans")
 		traceScheme  = flag.String("trace-scheme", "dhs-setaside", "scheme to trace")
@@ -121,6 +125,26 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "verify:", err)
 			os.Exit(1)
+		}
+		if *gate {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verify: reading bench baseline:", err)
+				os.Exit(1)
+			}
+			var base check.BenchReport
+			if err := json.Unmarshal(data, &base); err != nil {
+				fmt.Fprintln(os.Stderr, "verify: parsing bench baseline:", err)
+				os.Exit(1)
+			}
+			if violations := rep.Gate(&base, *tolerance); len(violations) > 0 {
+				fmt.Fprintf(os.Stderr, "verify: bench regression gate FAILED (%d violation(s)):\n", len(violations))
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "  -", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("\nbench gate PASS: every scheme within %.0f%% of %s\n", *tolerance*100, *baseline)
 		}
 		return
 	}

@@ -23,6 +23,7 @@ type Fairness struct {
 	quota   int
 
 	epoch       int64
+	nextRoll    int64 // first cycle of the next window: (epoch+1)*window
 	served      []int32
 	servedEpoch []int64
 
@@ -73,6 +74,7 @@ func NewFairness(nodes int, cfg FairnessConfig) *Fairness {
 	if f.quota <= 0 {
 		f.quota = 16
 	}
+	f.nextRoll = f.window
 	if f.enabled {
 		f.served = make([]int32, nodes)
 		f.servedEpoch = make([]int64, nodes)
@@ -94,14 +96,17 @@ func (f *Fairness) BeginCycle(now int64) bool {
 	if f == nil || !f.enabled {
 		return false
 	}
-	if e := now / f.window; e != f.epoch {
-		f.epoch = e
-		f.prevReqCount = f.reqCount
-		f.reqCount = 0
-		// served[] and reqEpoch[] reset lazily via their epoch stamps.
-		return true
+	if now < f.nextRoll {
+		// Inside the current window: the common case pays one compare,
+		// not a division.
+		return false
 	}
-	return false
+	f.epoch = now / f.window
+	f.nextRoll = (f.epoch + 1) * f.window
+	f.prevReqCount = f.reqCount
+	f.reqCount = 0
+	// served[] and reqEpoch[] reset lazily via their epoch stamps.
+	return true
 }
 
 // OnRequest notes that a node wants this channel; the first note per

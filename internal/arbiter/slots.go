@@ -24,6 +24,11 @@ type SlotEmitter struct {
 	live []bool
 	// emitBase tracks which absolute cycles the live window covers.
 	lastEmitCheck int64
+	// curIdx is now % len(live) for the cycle opened by BeginCycle — the
+	// shared ring position of this cycle's emission and expiry (len(live)
+	// is exactly roundTrip+1, so the expiring token sits where the new one
+	// goes). Caching it makes LiveAt/Consume/Emit division-free.
+	curIdx int
 
 	emitted  int64
 	captured int64
@@ -68,53 +73,124 @@ func (s *SlotEmitter) Live() int {
 // Advance must be called exactly once per cycle with strictly increasing
 // now values.
 func (s *SlotEmitter) Advance(now int64, emitGate func() bool, capture CaptureFunc, onExpire func()) {
+	s.AdvanceSweep(now, emitGate, func(start, end int) int {
+		for off := start; off < end; off++ {
+			if capture(off) {
+				return off
+			}
+		}
+		return -1
+	}, onExpire)
+}
+
+// AdvanceSweep is Advance with segment-granular capture (see SweepFunc in
+// global.go): each live token asks sweep for its whole segment in one call
+// instead of one CaptureFunc call per node position. A nil sweep skips the
+// capture scan entirely — expiry and emission still run, so a cycle with
+// no requesters costs O(1).
+//
+// The engine's hot path does not use this composed form: it calls the
+// BeginCycle / LiveAt / Consume / Emit primitives directly, driving the
+// capture scan from its requester table instead of iterating every live
+// token (see core's slot arbitration binder). The two decompositions make
+// exactly the same stateful calls in the same order.
+func (s *SlotEmitter) AdvanceSweep(now int64, emitGate func() bool, sweep SweepFunc, onExpire func()) {
+	s.BeginCycle(now, onExpire)
+
+	// Sweep every live token. The token emitted at cycle e has age
+	// now-e and covers offsets [(age-1)*perCycle+1, age*perCycle].
+	if sweep != nil {
+		for age := 1; age <= s.roundTrip; age++ {
+			if now-int64(age) < 0 {
+				break
+			}
+			if !s.LiveAt(now, age) {
+				continue
+			}
+			start := (age-1)*s.perCycle + 1
+			end := start + s.perCycle
+			if end > s.nodes {
+				end = s.nodes
+			}
+			if start >= end {
+				continue
+			}
+			if off := sweep(start, end); off >= 0 {
+				s.Consume(now, age)
+			}
+		}
+	}
+
+	s.Emit(now, emitGate)
+}
+
+// BeginCycle opens cycle now: it enforces the once-per-cycle contract and
+// expires the token that has completed the loop (age R+1 this cycle),
+// invoking onExpire so Token Slot can reclaim the unused credit. Must be
+// called before any LiveAt/Consume/Emit for the cycle.
+//
+// The expiring token was emitted exactly len(live) = roundTrip+1 cycles
+// ago, so it occupies the same ring position the new token will take —
+// before cycle roundTrip+1 that position cannot be live (its emit cycle
+// would predate the simulation), so no early-cycle guard is needed.
+func (s *SlotEmitter) BeginCycle(now int64, onExpire func()) {
 	if now <= s.lastEmitCheck && s.emitted+s.expired+s.captured > 0 {
 		panic(fmt.Sprintf("arbiter: SlotEmitter.Advance called twice for cycle %d", now))
 	}
+	prev := s.lastEmitCheck
 	s.lastEmitCheck = now
 
-	// 1. Expire the token that has completed the loop (age R+1 this cycle).
-	oldIdx := int((now - int64(s.roundTrip) - 1) % int64(len(s.live)))
-	if oldIdx >= 0 && s.live[oldIdx] {
-		s.live[oldIdx] = false
+	if now == prev+1 {
+		// Consecutive cycles advance the ring position by one — no
+		// division on the hot path.
+		if s.curIdx++; s.curIdx == len(s.live) {
+			s.curIdx = 0
+		}
+	} else {
+		s.curIdx = int(now % int64(len(s.live)))
+	}
+	if s.live[s.curIdx] {
+		s.live[s.curIdx] = false
 		s.expired++
 		if onExpire != nil {
 			onExpire()
 		}
 	}
+}
 
-	// 2. Sweep every live token. The token emitted at cycle e has age
-	// now-e and covers offsets [(age-1)*perCycle+1, age*perCycle].
-	for age := 1; age <= s.roundTrip; age++ {
-		emit := now - int64(age)
-		if emit < 0 {
-			break
-		}
-		idx := int(emit % int64(len(s.live)))
-		if !s.live[idx] {
-			continue
-		}
-		start := (age-1)*s.perCycle + 1
-		for i := 0; i < s.perCycle; i++ {
-			off := start + i
-			if off >= s.nodes {
-				break
-			}
-			if capture(off) {
-				s.live[idx] = false
-				s.captured++
-				break
-			}
-		}
+// LiveAt reports whether the token of the given age (1..roundTrip) is
+// still travelling at cycle now, which must be the cycle opened by
+// BeginCycle. Ages older than the simulation start report false.
+func (s *SlotEmitter) LiveAt(now int64, age int) bool {
+	if int64(age) > now {
+		return false
 	}
+	i := s.curIdx - age
+	if i < 0 {
+		i += len(s.live)
+	}
+	return s.live[i]
+}
 
-	// 3. Emit this cycle's token.
+// Consume marks the live token of the given age captured at cycle now
+// (the cycle opened by BeginCycle).
+func (s *SlotEmitter) Consume(now int64, age int) {
+	i := s.curIdx - age
+	if i < 0 {
+		i += len(s.live)
+	}
+	s.live[i] = false
+	s.captured++
+}
+
+// Emit closes cycle now (the cycle opened by BeginCycle) by emitting this
+// cycle's token iff emitGate allows (nil = always).
+func (s *SlotEmitter) Emit(now int64, emitGate func() bool) {
 	if emitGate == nil || emitGate() {
-		idx := int(now % int64(len(s.live)))
-		if s.live[idx] {
+		if s.live[s.curIdx] {
 			panic(fmt.Sprintf("arbiter: token slot emitted at cycle %d collides with live token", now))
 		}
-		s.live[idx] = true
+		s.live[s.curIdx] = true
 		s.emitted++
 	}
 }

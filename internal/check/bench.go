@@ -134,6 +134,37 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	return rep, nil
 }
 
+// Gate compares a fresh measurement against a committed baseline report
+// and returns one violation string per scheme whose nil-tap ns/cycle
+// regressed beyond the tolerance band (0.25 = fail above 125% of the
+// baseline). Schemes added since the baseline was recorded are violations
+// too — the baseline must be regenerated to cover them — while schemes
+// *removed* from the engine are ignored (the registry tests own that).
+// Wall-clock comparisons across machines are inherently noisy; the gate is
+// meant to run on the hardware class that recorded the baseline (CI), and
+// the band absorbs ordinary scheduler jitter.
+func (r *BenchReport) Gate(base *BenchReport, tolerance float64) []string {
+	baseline := make(map[string]float64, len(base.Points))
+	for _, p := range base.Points {
+		baseline[p.Scheme] = p.NsPerCycle
+	}
+	var violations []string
+	for _, p := range r.Points {
+		want, ok := baseline[p.Scheme]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: not in the committed baseline — regenerate it (verify -bench -json)", p.Scheme))
+			continue
+		}
+		if limit := want * (1 + tolerance); p.NsPerCycle > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.1f ns/cycle exceeds the %.1f baseline by more than %.0f%% (limit %.1f)",
+					p.Scheme, p.NsPerCycle, want, tolerance*100, limit))
+		}
+	}
+	return violations
+}
+
 // WriteJSON emits the report as indented JSON (the BENCH_core.json format).
 func (r *BenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -1,0 +1,59 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBenchGate pins the regression-gate arithmetic on synthetic reports:
+// within-band points pass, beyond-band points fail with the scheme named,
+// schemes missing from the baseline fail, and schemes missing from the
+// fresh report are ignored. No wall clock involved — the gate's behaviour
+// must be test-stable even on a loaded machine.
+func TestBenchGate(t *testing.T) {
+	base := &BenchReport{Points: []BenchPoint{
+		{Scheme: "dhs", NsPerCycle: 1000},
+		{Scheme: "ghs", NsPerCycle: 2000},
+		{Scheme: "retired-scheme", NsPerCycle: 99},
+	}}
+
+	t.Run("within band", func(t *testing.T) {
+		rep := &BenchReport{Points: []BenchPoint{
+			{Scheme: "dhs", NsPerCycle: 1249}, // +24.9%
+			{Scheme: "ghs", NsPerCycle: 1500}, // improvement
+		}}
+		if v := rep.Gate(base, 0.25); len(v) != 0 {
+			t.Errorf("expected clean gate, got %v", v)
+		}
+	})
+
+	t.Run("regression beyond band", func(t *testing.T) {
+		rep := &BenchReport{Points: []BenchPoint{
+			{Scheme: "dhs", NsPerCycle: 1251}, // +25.1%
+			{Scheme: "ghs", NsPerCycle: 1999},
+		}}
+		v := rep.Gate(base, 0.25)
+		if len(v) != 1 || !strings.HasPrefix(v[0], "dhs:") {
+			t.Errorf("expected exactly the dhs violation, got %v", v)
+		}
+	})
+
+	t.Run("scheme missing from baseline", func(t *testing.T) {
+		rep := &BenchReport{Points: []BenchPoint{
+			{Scheme: "brand-new-scheme", NsPerCycle: 1},
+		}}
+		v := rep.Gate(base, 0.25)
+		if len(v) != 1 || !strings.Contains(v[0], "brand-new-scheme") {
+			t.Errorf("expected a missing-baseline violation, got %v", v)
+		}
+	})
+
+	t.Run("zero tolerance", func(t *testing.T) {
+		rep := &BenchReport{Points: []BenchPoint{
+			{Scheme: "dhs", NsPerCycle: 1000.5},
+		}}
+		if v := rep.Gate(base, 0); len(v) != 1 {
+			t.Errorf("zero tolerance must flag any slowdown, got %v", v)
+		}
+	})
+}

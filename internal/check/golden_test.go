@@ -1,0 +1,240 @@
+package check
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/fault"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+// The golden-digest regression tests pin the behavioural fingerprint of
+// every quick-grid and chaos-battery point as testdata, so a plain
+// `go test ./...` fails on any engine divergence — EXPERIMENTS.md records
+// the same digests for humans, but only these files make them binding.
+//
+// Regenerate after an *intentional* behaviour change with:
+//
+//	go test ./internal/check -run TestGolden -update
+//
+// and justify the diff in the commit message; a raw-speed change must
+// never need it.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden digest testdata")
+
+// goldenPoint is one pinned digest. Case is the traffic pattern for
+// quick-grid points and the fault class for chaos points.
+type goldenPoint struct {
+	Scheme string  `json:"scheme"`
+	Case   string  `json:"case"`
+	Rate   float64 `json:"rate"`
+	Digest string  `json:"digest"`
+}
+
+func (p goldenPoint) key() string {
+	return fmt.Sprintf("%s/%s@%g", p.Scheme, p.Case, p.Rate)
+}
+
+// goldenQuickPoints reproduces the per-point digests of
+// Run(QuickBattery(seed)) — same tape derivation order, same seeds, same
+// window — without the battery's repeat runs and cross checks, so the
+// golden sweep stays test-suite cheap.
+func goldenQuickPoints(t *testing.T, seed uint64) []goldenPoint {
+	t.Helper()
+	b := QuickBattery(seed)
+	cfg0 := core.DefaultConfig(b.Schemes[0])
+
+	type pointJob struct {
+		scheme core.Scheme
+		name   string
+		rate   float64
+		tape   *traffic.Tape
+	}
+	var jobs []pointJob
+	tapes := 0
+	for _, pat := range b.Patterns {
+		for _, rate := range b.Loads(pat.Name()) {
+			tape, err := traffic.RecordTape(pat, rate, cfg0.Nodes, cfg0.CoresPerNode,
+				sim.DeriveSeed(b.Seed, uint64(tapes)), b.Window.Warmup+b.Window.Measure)
+			if err != nil {
+				t.Fatalf("recording %s tape at %.3f: %v", pat.Name(), rate, err)
+			}
+			tapes++
+			for _, s := range b.Schemes {
+				jobs = append(jobs, pointJob{scheme: s, name: pat.Name(), rate: rate, tape: tape})
+			}
+		}
+	}
+
+	points := make([]goldenPoint, len(jobs))
+	runGoldenJobs(t, len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := core.DefaultConfig(j.scheme)
+		cfg.Seed = b.Seed
+		net, err := core.NewNetwork(cfg, b.Window)
+		if err != nil {
+			return err
+		}
+		res, err := j.tape.Run(net)
+		if err != nil {
+			return err
+		}
+		points[i] = goldenPoint{
+			Scheme: j.scheme.String(),
+			Case:   j.name,
+			Rate:   j.rate,
+			Digest: fmt.Sprintf("%016x", res.Digest),
+		}
+		return nil
+	})
+	return points
+}
+
+// goldenChaosPoints reproduces the per-point digests of
+// RunChaos(QuickChaos(seed)): faults armed per (scheme, class, rate) with
+// recovery on, over the battery's shared uniform-random tape.
+func goldenChaosPoints(t *testing.T, seed uint64) []goldenPoint {
+	t.Helper()
+	b := QuickChaos(seed)
+	cfg0 := core.DefaultConfig(b.Schemes[0])
+	tape, err := traffic.RecordTape(traffic.UniformRandom{}, b.Load, cfg0.Nodes, cfg0.CoresPerNode,
+		sim.DeriveSeed(b.Seed, 0xC4A05), b.Window.Warmup+b.Window.Measure)
+	if err != nil {
+		t.Fatalf("recording chaos tape: %v", err)
+	}
+
+	type pointJob struct {
+		scheme core.Scheme
+		class  fault.Class
+		rate   float64
+	}
+	var jobs []pointJob
+	for _, s := range b.Schemes {
+		for _, cl := range b.Classes {
+			if !classApplies(s, cl) {
+				continue
+			}
+			for _, rate := range b.Rates {
+				jobs = append(jobs, pointJob{s, cl, rate})
+			}
+		}
+	}
+
+	points := make([]goldenPoint, len(jobs))
+	runGoldenJobs(t, len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := b.chaosConfig(j.scheme, j.class, j.rate)
+		net, err := core.NewNetwork(cfg, b.Window)
+		if err != nil {
+			return err
+		}
+		res, err := tape.Run(net)
+		if err != nil {
+			return err
+		}
+		points[i] = goldenPoint{
+			Scheme: j.scheme.String(),
+			Case:   j.class.String(),
+			Rate:   j.rate,
+			Digest: fmt.Sprintf("%016x", res.Digest),
+		}
+		return nil
+	})
+	return points
+}
+
+// runGoldenJobs fans n independent point runs over GOMAXPROCS workers.
+func runGoldenJobs(t *testing.T, n int, run func(i int) error) {
+	t.Helper()
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = run(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("golden point %d: %v", i, err)
+		}
+	}
+}
+
+// checkGolden compares computed points against the named testdata file,
+// rewriting it under -update.
+func checkGolden(t *testing.T, file string, got []goldenPoint) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal golden: %v", err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		t.Logf("rewrote %s with %d points", path, len(got))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create it): %v", path, err)
+	}
+	var want []goldenPoint
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	wantByKey := make(map[string]goldenPoint, len(want))
+	for _, p := range want {
+		wantByKey[p.key()] = p
+	}
+	if len(got) != len(want) {
+		t.Errorf("%s pins %d points, sweep produced %d (grid changed? rerun with -update and justify)",
+			file, len(want), len(got))
+	}
+	for _, g := range got {
+		w, ok := wantByKey[g.key()]
+		if !ok {
+			t.Errorf("%s: no pinned digest for %s", file, g.key())
+			continue
+		}
+		if g.Digest != w.Digest {
+			t.Errorf("%s: digest diverged: got %s, pinned %s — the engine's behaviour changed",
+				g.key(), g.Digest, w.Digest)
+		}
+	}
+}
+
+// TestGoldenQuickGridDigests pins every (scheme, pattern, load) digest of
+// the quick battery grid. Any cycle-timing or event-stream change in the
+// engine fails here before it can reach cmd/verify.
+func TestGoldenQuickGridDigests(t *testing.T) {
+	checkGolden(t, "golden_quick.json", goldenQuickPoints(t, 1))
+}
+
+// TestGoldenChaosDigests pins every (scheme, fault class, rate) digest of
+// the chaos battery: the fault schedule, recovery timers and watchdogs
+// are all cycle-exact, so any drift in the recovery path fails here.
+func TestGoldenChaosDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos golden sweep skipped in -short mode")
+	}
+	checkGolden(t, "golden_chaos.json", goldenChaosPoints(t, 1))
+}

@@ -110,14 +110,13 @@ func (n *Network) Accounting() Accounting {
 		a.FaultData = counts[fault.DataLoss]
 		a.FaultStalls = counts[fault.NodeStall]
 	}
-	for _, nd := range n.nodes {
-		for _, q := range nd.queues {
-			a.Queued += q.out.QueueLen()
-			a.Unacked += q.out.Unacked()
-		}
+	for i := range n.queues {
+		a.Queued += n.queues[i].out.QueueLen()
+		a.Unacked += n.queues[i].out.Unacked()
 	}
 	a.Channels = make([]ChannelAccounting, len(n.chans))
-	for i, c := range n.chans {
+	for i := range n.chans {
+		c := &n.chans[i]
 		ch := ChannelAccounting{
 			Home:         c.home,
 			Launches:     c.data.Launches(),

@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+// TestStepZeroAlloc is the hot-path alloc guard: after warmup, a network
+// cycle must allocate nothing for any scheme — every per-cycle container
+// (grant queue, delay-line buckets, eject scratch, setaside slots) is
+// preallocated or bucket-reused. Injection is excluded: packets themselves
+// are necessarily heap-allocated, so the guard measures Step over the
+// warmed backlog as production sweeps drive it (invariants off).
+//
+// The window is all warmup so no packet is marked measured: the latency
+// histograms never record during the guard, removing their amortised bin
+// growth — the only legitimate allocation Step could otherwise perform.
+func TestStepZeroAlloc(t *testing.T) {
+	for _, s := range core.Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := core.DefaultConfig(s)
+			cfg.CheckInvariants = false
+			net, err := core.NewNetwork(cfg, sim.Window{Warmup: 1 << 40})
+			if err != nil {
+				t.Fatalf("NewNetwork: %v", err)
+			}
+			inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.10, cfg.Nodes, cfg.CoresPerNode, cfg.Seed)
+			if err != nil {
+				t.Fatalf("NewInjector: %v", err)
+			}
+			for i := 0; i < 2000; i++ {
+				inj.Tick(net)
+				net.Step()
+			}
+			if avg := testing.AllocsPerRun(200, func() { net.Step() }); avg != 0 {
+				t.Errorf("Step allocates %.2f times per cycle on the warmed hot path; want 0", avg)
+			}
+		})
+	}
+}
+
+// TestRunCyclesZeroAlloc extends the guard to the idle fast path: once the
+// network drains, skip-ahead cycles must be allocation-free too.
+func TestRunCyclesZeroAlloc(t *testing.T) {
+	for _, s := range core.Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := core.DefaultConfig(s)
+			cfg.CheckInvariants = false
+			net, err := core.NewNetwork(cfg, sim.Window{Warmup: 1 << 40})
+			if err != nil {
+				t.Fatalf("NewNetwork: %v", err)
+			}
+			inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.10, cfg.Nodes, cfg.CoresPerNode, cfg.Seed)
+			if err != nil {
+				t.Fatalf("NewInjector: %v", err)
+			}
+			for i := 0; i < 500; i++ {
+				inj.Tick(net)
+				net.Step()
+			}
+			net.RunCycles(4096) // drain into quiescence
+			if out := net.Outstanding(); out != 0 {
+				t.Fatalf("network not quiescent after drain: %d outstanding", out)
+			}
+			if avg := testing.AllocsPerRun(50, func() { net.RunCycles(64) }); avg != 0 {
+				t.Errorf("idle RunCycles allocates %.2f times per 64-cycle block; want 0", avg)
+			}
+		})
+	}
+}
+
+// BenchmarkIdleRunCycles measures the idle fast path per scheme:
+// nanoseconds per skipped cycle on a fully drained network — the cost a
+// tape gap or drain tail pays per cycle after quiescence.
+func BenchmarkIdleRunCycles(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := core.DefaultConfig(s)
+			cfg.CheckInvariants = false
+			net, err := core.NewNetwork(cfg, sim.Window{Warmup: 1 << 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inj, err := traffic.NewInjector(traffic.UniformRandom{}, 0.05, cfg.Nodes, cfg.CoresPerNode, cfg.Seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 500; i++ {
+				inj.Tick(net)
+				net.Step()
+			}
+			net.RunCycles(4096)
+			if net.Outstanding() != 0 {
+				b.Fatal("network not quiescent")
+			}
+			b.ResetTimer()
+			net.RunCycles(int64(b.N))
+		})
+	}
+}

@@ -51,8 +51,30 @@ type Network struct {
 	now    int64
 	nextID uint64
 
-	nodes []*nodeState
-	chans []*channel
+	// Node, queue and channel state lives in flat value slices (struct of
+	// arrays): the phase loops touch all of them every cycle, and walking
+	// contiguous memory instead of chasing per-element pointers is a large
+	// fraction of the engine's raw speed. Pointers *into* the slices
+	// (&nodes[i], &chans[h]) are handed to bound closures at construction
+	// and stay valid because the slices never grow after NewNetwork.
+	nodes  []nodeState
+	queues []queueState // node i's queues: queues[i*CoresPerNode : (i+1)*CoresPerNode]
+	chans  []channel
+
+	// wantRows[h][id] counts how many of node id's queues currently want
+	// channel h — the transpose of the former per-node wantCount layout,
+	// so a token sweep over channel h reads one contiguous row instead of
+	// striding across every node. wantNodes[h] counts nodes with a
+	// non-zero entry; zero lets the token phase skip channel h's capture
+	// scan outright. wantBacking is the rows' shared backing store.
+	wantBacking []int16
+	wantRows    [][]int16
+	wantNodes   []int32
+	// wantMask[h] has bit id set iff wantRows[h][id] > 0 — a one-word
+	// summary the slot-capture scan iterates with trailing-zero counting
+	// instead of walking the whole row. Maintained for any node count but
+	// only consulted when Nodes <= 64 (bits beyond 63 would alias).
+	wantMask []uint64
 
 	grants []grant
 
@@ -84,6 +106,14 @@ type Network struct {
 	watchdog   int64 // global-token silence window (cycles)
 	onTimeout  func(*router.Packet)
 
+	// skipOK precomputes the static half of the idle skip-ahead gate: the
+	// fast path is sound only when no per-cycle randomness is drawn
+	// outside the injector (EjectStallProb == 0 — a stalled eject draws
+	// its RNG even over an empty buffer) and no fault process needs its
+	// per-cycle Bernoulli stream (faults == nil). The dynamic half of the
+	// gate is Outstanding() == 0; see RunCycles.
+	skipOK bool
+
 	// orphans counts logical packets whose only live copy was destroyed
 	// (NACK-dropped awaiting retransmit, or fault-discarded with a sender
 	// retention copy); dupsInFlight counts extra copies of already-accepted
@@ -101,13 +131,11 @@ type Network struct {
 	policy router.SendPolicy
 }
 
-// nodeState is the electrical side of one ring node.
+// nodeState is the electrical side of one ring node. Its queues live in
+// the network's flat queue slice (Network.nodeQueues); which channels the
+// node wants live in the transposed want rows (Network.wantRows).
 type nodeState struct {
-	id     int
-	queues []*queueState
-	// wantCount[h] is how many of this node's queues currently want
-	// channel h (their next-ready packet is bound for home h).
-	wantCount []int16
+	id int
 	// granted marks that the node's launch port is already claimed this
 	// cycle (by a distributed token capture).
 	granted bool
@@ -203,6 +231,7 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 		}
 		n.faults = fault.NewInjector(fcfg, cfg.Nodes)
 	}
+	n.skipOK = !cfg.DisableSkipAhead && n.faults == nil && cfg.EjectStallProb == 0
 	if cfg.Recovery.Enabled {
 		n.recoveryOn = true
 		n.retxBase = cfg.retxTimeoutBase()
@@ -214,35 +243,47 @@ func NewNetwork(cfg Config, window sim.Window) (*Network, error) {
 		}
 	}
 
-	n.nodes = make([]*nodeState, cfg.Nodes)
+	n.nodes = make([]nodeState, cfg.Nodes)
+	n.queues = make([]queueState, cfg.Nodes*cfg.CoresPerNode)
 	for i := range n.nodes {
-		nd := &nodeState{
-			id:        i,
-			queues:    make([]*queueState, cfg.CoresPerNode),
-			wantCount: make([]int16, cfg.Nodes),
-			holding:   -1,
-		}
-		for q := range nd.queues {
-			nd.queues[q] = &queueState{
-				out:  router.NewOutPort(n.policy, cfg.QueueCap, cfg.SetasideSize),
-				want: -1,
-			}
-		}
-		n.nodes[i] = nd
+		n.nodes[i] = nodeState{id: i, holding: -1}
 	}
+	for qi := range n.queues {
+		n.queues[qi] = queueState{
+			out:  router.NewOutPort(n.policy, cfg.QueueCap, cfg.SetasideSize),
+			want: -1,
+		}
+	}
+	n.wantBacking = make([]int16, cfg.Nodes*cfg.Nodes)
+	n.wantRows = make([][]int16, cfg.Nodes)
+	for h := range n.wantRows {
+		n.wantRows[h] = n.wantBacking[h*cfg.Nodes : (h+1)*cfg.Nodes]
+	}
+	n.wantNodes = make([]int32, cfg.Nodes)
+	n.wantMask = make([]uint64, cfg.Nodes)
+	// At most one grant per node per cycle (the granted flag), so the
+	// grant queue never outgrows this and phaseLaunch never reallocates.
+	n.grants = make([]grant, 0, cfg.Nodes)
 
-	n.chans = make([]*channel, cfg.Nodes)
+	n.chans = make([]channel, cfg.Nodes)
 	for h := range n.chans {
-		c := &channel{
+		c := &n.chans[h]
+		*c = channel{
 			home: h,
 			data: ring.NewDataChannel[*router.Packet](geom),
 			in:   router.NewInPort(cfg.BufferDepth, cfg.EjectRate, cfg.EjectStallProb, n.rng.Fork(uint64(h)+1000)),
 			fair: arbiter.NewFairness(cfg.Nodes, cfg.Fairness),
 		}
-		n.chans[h] = c
 		n.bindChannel(c)
 	}
 	return n, nil
+}
+
+// nodeQueues returns node id's per-core output queues (a view into the
+// flat queue slice).
+func (n *Network) nodeQueues(id int) []queueState {
+	k := n.cfg.CoresPerNode
+	return n.queues[id*k : (id+1)*k]
 }
 
 // bindChannel wires channel c's scheme machinery and pre-binds the
@@ -318,9 +359,8 @@ func (n *Network) Digest() uint64 { return n.stats.digest.value() }
 
 // queueOf returns the per-core output queue a packet belongs to.
 func (n *Network) queueOf(pkt *router.Packet) (*nodeState, *queueState) {
-	nd := n.nodes[pkt.Src]
 	core := int(pkt.Tag>>40) % n.cfg.CoresPerNode
-	return nd, nd.queues[core]
+	return &n.nodes[pkt.Src], &n.queues[pkt.Src*n.cfg.CoresPerNode+core]
 }
 
 // Step advances the network by one cycle, executing the seven phases.
@@ -332,25 +372,25 @@ func (n *Network) Step() {
 			n.emitMeta(EvFault, faultAux(fault.NodeStall, node))
 		})
 	}
-	for _, c := range n.chans {
-		n.phaseArrive(c, now)
+	for i := range n.chans {
+		n.phaseArrive(&n.chans[i], now)
 	}
-	for _, c := range n.chans {
-		if c.handshake != nil {
+	for i := range n.chans {
+		if c := &n.chans[i]; c.handshake != nil {
 			c.handshake(now)
 		}
 	}
 	if n.recoveryOn {
 		n.phaseTimeouts(now)
 	}
-	for _, c := range n.chans {
-		n.phaseEject(c, now)
+	for i := range n.chans {
+		n.phaseEject(&n.chans[i], now)
 	}
 	// Rotate channel order so cross-channel capture priority (an artefact
 	// of sequential simulation, not physics) carries no systematic bias.
 	start := int(now) % len(n.chans)
 	for i := range n.chans {
-		n.phaseTokens(n.chans[(start+i)%len(n.chans)], now)
+		n.phaseTokens(&n.chans[(start+i)%len(n.chans)], now)
 	}
 	n.phaseLaunch(now)
 	n.phasePipeline(now)
@@ -360,10 +400,71 @@ func (n *Network) Step() {
 	n.now++
 }
 
-// RunCycles advances the network by k cycles.
+// RunCycles advances the network by k cycles. It is bit-identical to k
+// consecutive Step calls, but when the network goes quiescent mid-span —
+// nothing queued, in flight, pending, or buffered anywhere — it switches
+// to the idle fast path, which executes only the stateful slice of each
+// cycle (see idleRun). Drivers with gaps between injections (tape replay,
+// drain tails) route them through here to collect the speedup.
 func (n *Network) RunCycles(k int64) {
-	for i := int64(0); i < k; i++ {
+	end := n.now + k
+	if !n.skipOK {
+		for n.now < end {
+			n.Step()
+		}
+		return
+	}
+	for n.now < end {
+		if n.Outstanding() == 0 {
+			n.idleRun(end)
+			return
+		}
 		n.Step()
+	}
+}
+
+// idleRun advances a quiescent network to cycle end, executing per cycle
+// only the phases that carry state when nothing is outstanding, in the
+// exact order Step would:
+//
+//   - arrivals, handshake delivery, timeouts, ejection, held-token
+//     launches, pipeline pop and invariants are provably no-ops: every
+//     delay line, buffer and queue is empty, no retransmit timer is armed
+//     (Outstanding counts un-ACKed retention copies), and no global token
+//     is held (a holder releases in the send cycle once its queue empties);
+//   - the token phase is NOT a no-op — fairness windows roll, slot tokens
+//     expire and re-emit, credits ride tokens home, global tokens
+//     circulate, watchdogs observe silence — so it runs in full, in the
+//     same rotated channel order as Step;
+//   - quiescence is absorbing: with no requesters (empty queues mean
+//     every want row is zero) no capture, grant or launch can occur, so
+//     eligibility never needs re-checking inside the loop.
+//
+// Afterwards the skipped clocks (injection pipeline, per-channel data and
+// handshake lines — all empty) are fast-forwarded so later Schedule and
+// PopDue calls see a current horizon. No digest event can be emitted in an
+// idle cycle on either path, so digests are bit-identical by construction;
+// the skip-ahead equivalence battery asserts it.
+func (n *Network) idleRun(end int64) {
+	for n.now < end {
+		now := n.now
+		start := int(now) % len(n.chans)
+		for i := range n.chans {
+			c := &n.chans[(start+i)%len(n.chans)]
+			if c.fair.BeginCycle(now) && n.wantNodes[c.home] > 0 {
+				panic("core: idle skip-ahead with live requesters")
+			}
+			c.advance(now)
+		}
+		n.now++
+	}
+	n.injPipe.SkipTo(n.now)
+	for i := range n.chans {
+		c := &n.chans[i]
+		c.data.SkipTo(n.now)
+		if c.hs != nil {
+			c.hs.SkipTo(n.now)
+		}
 	}
 }
 
@@ -403,8 +504,11 @@ func (n *Network) dataFault(c *channel, pkt *router.Packet) {
 // answer that actually arrived — including one arriving exactly at the
 // deadline cycle.
 func (n *Network) phaseTimeouts(now int64) {
-	for _, nd := range n.nodes {
-		for _, q := range nd.queues {
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		qs := n.nodeQueues(nd.id)
+		for j := range qs {
+			q := &qs[j]
 			if q.out.Unacked() == 0 {
 				continue
 			}
@@ -434,12 +538,13 @@ func (n *Network) phaseEject(c *channel, now int64) {
 // scheme-independent fairness window accounting, then the protocol's bound
 // token-motion closure.
 func (n *Network) phaseTokens(c *channel, now int64) {
-	if c.fair.BeginCycle(now) {
+	if c.fair.BeginCycle(now) && n.wantNodes[c.home] > 0 {
 		// A new fairness window opened: re-register the still-backlogged
 		// requesters so sustained contention is counted, not just newly
 		// arriving heads.
-		for id, nd := range n.nodes {
-			if nd.wantCount[c.home] > 0 {
+		row := n.wantRows[c.home]
+		for id := range row {
+			if row[id] > 0 {
 				c.fair.OnRequest(id)
 			}
 		}
@@ -461,8 +566,8 @@ func (n *Network) phaseLaunch(now int64) {
 	n.grants = n.grants[:0]
 
 	// Global token holders (schemes with a launchHeld hook).
-	for _, c := range n.chans {
-		if c.launchHeld != nil {
+	for i := range n.chans {
+		if c := &n.chans[i]; c.launchHeld != nil {
 			c.launchHeld(now)
 		}
 	}
@@ -471,9 +576,10 @@ func (n *Network) phaseLaunch(now int64) {
 // pickQueue selects, round-robin from the node's SA pointer, a queue whose
 // next-ready packet is bound for home h.
 func (n *Network) pickQueue(nd *nodeState, h int) (*nodeState, *queueState, *router.Packet) {
-	k := len(nd.queues)
+	qs := n.nodeQueues(nd.id)
+	k := len(qs)
 	for i := 0; i < k; i++ {
-		q := nd.queues[(nd.rr+i)%k]
+		q := &qs[(nd.rr+i)%k]
 		if q.want != h {
 			continue
 		}
@@ -567,16 +673,24 @@ func (n *Network) updateQueueWant(nd *nodeState, q *queueState) {
 		return
 	}
 	if q.want >= 0 {
-		nd.wantCount[q.want]--
-		if nd.wantCount[q.want] < 0 {
+		row := n.wantRows[q.want]
+		row[nd.id]--
+		if row[nd.id] < 0 {
 			panic("core: negative want count")
+		}
+		if row[nd.id] == 0 {
+			n.wantNodes[q.want]--
+			n.wantMask[q.want] &^= 1 << uint(nd.id)
 		}
 	}
 	if want >= 0 {
-		if nd.wantCount[want] == 0 {
+		row := n.wantRows[want]
+		if row[nd.id] == 0 {
 			n.chans[want].fair.OnRequest(nd.id)
+			n.wantNodes[want]++
+			n.wantMask[want] |= 1 << uint(nd.id)
 		}
-		nd.wantCount[want]++
+		row[nd.id]++
 	}
 	q.want = want
 }
@@ -587,7 +701,8 @@ func (n *Network) updateQueueWant(nd *nodeState, q *queueState) {
 // registered scheme.
 func (n *Network) checkInvariants() {
 	maxFlight := n.cfg.RoundTrip + 2
-	for _, c := range n.chans {
+	for i := range n.chans {
+		c := &n.chans[i]
 		if c.invariant != nil {
 			if err := c.invariant(); err != nil {
 				panic(fmt.Sprintf("core: scheme %s: %v", n.spec.Name, err))
@@ -616,13 +731,11 @@ func (n *Network) checkInvariants() {
 // cycle; internal/check audits it.
 func (n *Network) Backlog() int {
 	total := n.injPipe.Len() + n.orphans - n.dupsInFlight
-	for _, nd := range n.nodes {
-		for _, q := range nd.queues {
-			total += q.out.QueueLen()
-		}
+	for i := range n.queues {
+		total += n.queues[i].out.QueueLen()
 	}
-	for _, c := range n.chans {
-		total += c.data.InFlight() + c.in.Occupied()
+	for i := range n.chans {
+		total += n.chans[i].data.InFlight() + n.chans[i].in.Occupied()
 	}
 	return total
 }
@@ -635,13 +748,11 @@ func (n *Network) Backlog() int {
 // state, so Drain stops on it.
 func (n *Network) Outstanding() int {
 	total := n.injPipe.Len()
-	for _, nd := range n.nodes {
-		for _, q := range nd.queues {
-			total += q.out.Backlog()
-		}
+	for i := range n.queues {
+		total += n.queues[i].out.Backlog()
 	}
-	for _, c := range n.chans {
-		total += c.data.InFlight() + c.in.Occupied()
+	for i := range n.chans {
+		total += n.chans[i].data.InFlight() + n.chans[i].in.Occupied()
 	}
 	return total
 }
@@ -687,8 +798,8 @@ func (n *Network) Drain(limit int64) (int, error) {
 // Result finalises and returns the run's measurements.
 func (n *Network) Result() Result {
 	n.stats.TokensYielded = 0
-	for _, c := range n.chans {
-		n.stats.TokensYielded += c.fair.Yields()
+	for i := range n.chans {
+		n.stats.TokensYielded += n.chans[i].fair.Yields()
 	}
 	return n.stats.Finish(n.cfg.Scheme)
 }
@@ -712,7 +823,8 @@ type ChannelDiagnostics struct {
 // Diagnostics returns per-channel low-level counters.
 func (n *Network) Diagnostics() []ChannelDiagnostics {
 	out := make([]ChannelDiagnostics, len(n.chans))
-	for i, c := range n.chans {
+	for i := range n.chans {
+		c := &n.chans[i]
 		d := ChannelDiagnostics{
 			Home:         c.home,
 			Launches:     c.data.Launches(),

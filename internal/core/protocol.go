@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"photon/internal/arbiter"
@@ -137,83 +138,159 @@ func RegisteredProtocols() []ProtocolSpec {
 // The five families assemble their hooks from these builders, so the
 // engine-visible behaviour of each phase lives in exactly one place.
 //
-// The capture builders run inside the arbiters' token-scan inner loop —
-// the hottest code in the simulator — so they take the concrete credit
-// ledgers (nil when the family has none) rather than generic callbacks:
-// an extra closure call per scanned node position costs ~10% of total
-// cycle throughput. A family with novel capture semantics binds its own
-// arbiter.CaptureFunc instead of reusing these.
+// The sweep builders run inside the arbiters' token-scan inner loop — the
+// hottest code in the simulator. Each sweep call covers one token's whole
+// segment: the closure rejects non-requesting nodes with a contiguous
+// scan of the channel's transposed want row (one int16 load per node,
+// no modulo, no per-offset closure call), and only a node that actually
+// wants the channel pays for the full eligibility checks. The check
+// order within a node — stall, want, port-busy, credits, fairness — is
+// digest-equivalent to the historic per-offset order because the stall
+// and want predicates are both pure; the first stateful call
+// (Fairness.Allow, which counts yields) still happens exactly when it
+// always did. A family with novel capture semantics binds its own
+// arbiter.SweepFunc instead of reusing these.
 
-// bindGlobalCapture builds the capture closure for a relayed global
+// bindGlobalSweep builds the segment-sweep closure for a relayed global
 // token. rc, when non-nil, vetoes capture of a token with no credits
 // aboard (Token Channel: an empty token cannot authorise a send).
 //
-// go:noinline on both capture builders: if the builder is inlined into
-// the protocol's Arbitrate method, the compiler re-parents the returned
-// closure and stops inlining the closure's own callees (NodeAt, the
-// fairness filter, the credit ledger) — a ~10% hit to the token-scan
-// loop, the simulator's hottest code.
+// go:noinline on both sweep builders: if the builder is inlined into the
+// protocol's Arbitrate method, the compiler re-parents the returned
+// closure and stops inlining the closure's own callees (the want-row
+// scan, the fairness filter, the credit ledger) — a measurable hit to
+// the token-scan loop.
 //
 //go:noinline
-func bindGlobalCapture(n *Network, c *channel, rc *flow.RelayedCredits) arbiter.CaptureFunc {
-	return func(off int) bool {
-		id := n.geom.NodeAt(c.home, off)
-		nd := n.nodes[id]
-		if n.faults != nil && n.faults.Stalled(id) {
-			// Resonator drift: the node's rings are off-channel and cannot
-			// divert the token, however badly it wants one.
-			return false
+func bindGlobalSweep(n *Network, c *channel, rc *flow.RelayedCredits) arbiter.SweepFunc {
+	want := n.wantRows[c.home]
+	return func(start, end int) int {
+		id := c.home + start
+		if id >= len(want) {
+			id -= len(want)
 		}
-		if nd.wantCount[c.home] == 0 {
-			return false
+		for off := start; off < end; off++ {
+			if want[id] > 0 && n.captureGlobal(c, id, rc) {
+				return off
+			}
+			if id++; id == len(want) {
+				id = 0
+			}
 		}
-		if nd.granted || nd.holding >= 0 {
-			return false
-		}
-		if rc != nil && rc.OnToken() == 0 {
-			return false
-		}
-		if !c.fair.Allow(id) {
-			return false
-		}
-		c.fair.OnCapture(id)
-		nd.holding = c.home
-		c.holdCount = 0
-		n.emitTapMeta(EvTokenCapture, tokenAux(id, c.home))
-		return true
+		return -1
 	}
 }
 
-// bindSlotCapture builds the capture closure for distributed token slots.
-// sc, when non-nil, moves the home credit aboard the captured token
-// (Token Slot). See bindGlobalCapture for why this must not inline.
+// captureGlobal applies the global-token eligibility checks and capture
+// effects for node id, which already wants channel c.
+func (n *Network) captureGlobal(c *channel, id int, rc *flow.RelayedCredits) bool {
+	nd := &n.nodes[id]
+	if n.faults != nil && n.faults.Stalled(id) {
+		// Resonator drift: the node's rings are off-channel and cannot
+		// divert the token, however badly it wants one.
+		return false
+	}
+	if nd.granted || nd.holding >= 0 {
+		return false
+	}
+	if rc != nil && rc.OnToken() == 0 {
+		return false
+	}
+	if !c.fair.Allow(id) {
+		return false
+	}
+	c.fair.OnCapture(id)
+	nd.holding = c.home
+	c.holdCount = 0
+	n.emitTapMeta(EvTokenCapture, tokenAux(id, c.home))
+	return true
+}
+
+// slotScan runs the requester-driven capture scan for one distributed
+// channel at cycle now: it walks the channel's transposed want row in
+// downstream order, maps each requesting node's offset to the age of the
+// token whose segment covers it, and probes capture only when that token
+// is still live. This inverts the arbiter's per-token segment iteration —
+// O(requesters) live-token probes instead of O(roundTrip) segment sweeps —
+// while making the identical stateful calls in the identical order: ages
+// ascend exactly as offsets do (segments partition the loop in downstream
+// order), the want and LiveAt predicates are pure, and a consumed token
+// answers LiveAt false for the rest of its segment just as the historic
+// sweep stopped scanning a segment after its capture.
+// See bindGlobalSweep for why this must not inline.
 //
 //go:noinline
-func bindSlotCapture(n *Network, c *channel, sc *flow.SlotCredits) arbiter.CaptureFunc {
-	return func(off int) bool {
-		id := n.geom.NodeAt(c.home, off)
-		nd := n.nodes[id]
-		if n.faults != nil && n.faults.Stalled(id) {
-			return false
+func (n *Network) slotScan(c *channel, now int64, sc *flow.SlotCredits) {
+	nodes := n.cfg.Nodes
+	per := n.geom.NodesPerCycle()
+	if nodes <= 64 {
+		// Fast path: hop straight between requesting nodes via the want
+		// bitmask. Two passes keep the downstream-from-home probe order:
+		// ids above home first (offset = id-home), then the wrap-around
+		// ids below home (offset = id+nodes-home) — ascending id equals
+		// ascending offset within each pass.
+		m := n.wantMask[c.home]
+		home := c.home
+		for w := m >> uint(home+1) << uint(home+1); w != 0; w &= w - 1 {
+			id := bits.TrailingZeros64(w)
+			n.slotProbe(c, now, id, id-home, per, sc)
 		}
-		if nd.wantCount[c.home] == 0 {
-			return false
+		for w := m & (1<<uint(home) - 1); w != 0; w &= w - 1 {
+			id := bits.TrailingZeros64(w)
+			n.slotProbe(c, now, id, id+nodes-home, per, sc)
 		}
-		if nd.granted || nd.holding >= 0 {
-			return false
-		}
-		if !c.fair.Allow(id) {
-			return false
-		}
-		c.fair.OnCapture(id)
-		nd.granted = true
-		if sc != nil {
-			sc.Capture()
-		}
-		n.grants = append(n.grants, grant{node: nd, ch: c})
-		n.emitTapMeta(EvTokenCapture, tokenAux(id, c.home))
-		return true
+		return
 	}
+	want := n.wantRows[c.home]
+	id := c.home + 1
+	if id >= nodes {
+		id -= nodes
+	}
+	for off := 1; off < nodes; off++ {
+		if want[id] > 0 {
+			n.slotProbe(c, now, id, off, per, sc)
+		}
+		if id++; id == nodes {
+			id = 0
+		}
+	}
+}
+
+// slotProbe asks the token whose segment covers offset off to grant node
+// id: the segment of the age-a token is [(a-1)*per+1, a*per], so off maps
+// to age ceil(off/per). A consumed or expired token answers LiveAt false
+// and the probe is free.
+func (n *Network) slotProbe(c *channel, now int64, id, off, per int, sc *flow.SlotCredits) {
+	age := off
+	if per > 1 {
+		age = (off-1)/per + 1
+	}
+	if c.slot.LiveAt(now, age) && n.captureSlot(c, id, sc) {
+		c.slot.Consume(now, age)
+	}
+}
+
+// captureSlot applies the slot-token eligibility checks and capture
+// effects for node id, which already wants channel c.
+func (n *Network) captureSlot(c *channel, id int, sc *flow.SlotCredits) bool {
+	nd := &n.nodes[id]
+	if n.faults != nil && n.faults.Stalled(id) {
+		return false
+	}
+	if nd.granted || nd.holding >= 0 {
+		return false
+	}
+	if !c.fair.Allow(id) {
+		return false
+	}
+	c.fair.OnCapture(id)
+	nd.granted = true
+	if sc != nil {
+		sc.Capture()
+	}
+	n.grants = append(n.grants, grant{node: nd, ch: c})
+	n.emitTapMeta(EvTokenCapture, tokenAux(id, c.home))
+	return true
 }
 
 // bindGlobalArbitrate builds the token-phase closure for global schemes:
@@ -223,7 +300,7 @@ func bindSlotCapture(n *Network, c *channel, sc *flow.SlotCredits) arbiter.Captu
 // Bound once per channel at construction; never inline (see bindGlobalCapture).
 //
 //go:noinline
-func bindGlobalArbitrate(n *Network, c *channel, capture arbiter.CaptureFunc, onHome func()) func(now int64) {
+func bindGlobalArbitrate(n *Network, c *channel, sweep arbiter.SweepFunc, onHome func()) func(now int64) {
 	return func(now int64) {
 		if n.faults != nil && !c.glob.Lost() {
 			if _, held := c.glob.Held(); !held && n.faults.KillToken(c.home, now) {
@@ -247,7 +324,13 @@ func bindGlobalArbitrate(n *Network, c *channel, capture arbiter.CaptureFunc, on
 		}
 		if _, held := c.glob.Held(); !held {
 			before := c.glob.HomePasses()
-			c.glob.Advance(capture, onHome)
+			sw := sweep
+			if n.wantNodes[c.home] == 0 {
+				// Nobody wants this channel: every capture probe would
+				// answer no, so the token moves without scanning.
+				sw = nil
+			}
+			c.glob.AdvanceSweep(sw, onHome)
 			if c.glob.HomePasses() != before {
 				c.lastActivity = now
 			}
@@ -257,11 +340,13 @@ func bindGlobalArbitrate(n *Network, c *channel, capture arbiter.CaptureFunc, on
 
 // bindSlotArbitrate builds the token-phase closure for distributed
 // schemes: reclaim credits stranded aboard dead tokens (recovery, Token
-// Slot only), then advance the slot emitter through gate/capture/expire.
+// Slot only), then drive the slot emitter through one cycle — expiry,
+// requester-driven capture scan (slotScan), emission. sc, when non-nil,
+// moves the home credit aboard each captured token (Token Slot).
 // Bound once per channel at construction; never inline (see bindGlobalCapture).
 //
 //go:noinline
-func bindSlotArbitrate(n *Network, c *channel, gate func() bool, capture arbiter.CaptureFunc, expire func()) func(now int64) {
+func bindSlotArbitrate(n *Network, c *channel, gate func() bool, sc *flow.SlotCredits, expire func()) func(now int64) {
 	return func(now int64) {
 		if c.regen != nil {
 			// Credits stranded aboard dead slot tokens come back at the
@@ -272,7 +357,13 @@ func bindSlotArbitrate(n *Network, c *channel, gate func() bool, capture arbiter
 				n.emitMeta(EvTokenRegen, uint64(c.home))
 			}
 		}
-		c.slot.Advance(now, gate, capture, expire)
+		c.slot.BeginCycle(now, expire)
+		if n.wantNodes[c.home] > 0 {
+			// Somebody wants this channel; with no requesters every live
+			// token's probe would answer no, so the scan is skipped whole.
+			n.slotScan(c, now, sc)
+		}
+		c.slot.Emit(now, gate)
 	}
 }
 
@@ -290,7 +381,7 @@ func bindHeldLaunch(n *Network, c *channel, rc *flow.RelayedCredits) func(now in
 		if !held {
 			return
 		}
-		nd := n.nodes[n.geom.NodeAt(c.home, off)]
+		nd := &n.nodes[n.geom.NodeAt(c.home, off)]
 		if n.faults != nil && n.faults.Stalled(nd.id) {
 			// Resonator drift hit the holder mid-grab: it cannot modulate,
 			// so it releases the token rather than sit on it silently.
@@ -315,7 +406,7 @@ func bindHeldLaunch(n *Network, c *channel, rc *flow.RelayedCredits) func(now in
 			// frees the token in the send cycle rather than one cycle
 			// later — without this, global arbitration caps at half the
 			// channel's wave-pipelined capacity.
-			keep := nd.wantCount[c.home] > 0 &&
+			keep := n.wantRows[c.home][nd.id] > 0 &&
 				(n.cfg.MaxTokenHold == 0 || c.holdCount < n.cfg.MaxTokenHold) &&
 				(rc == nil || rc.OnToken() > 0)
 			if !keep {

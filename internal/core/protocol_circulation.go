@@ -32,7 +32,6 @@ func (circulationProtocol) Wire(n *Network, c *channel) {
 }
 
 func (circulationProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
-	capture := bindSlotCapture(n, c, nil)
 	// DHS-cir: reinjection suppresses this cycle's token emission.
 	gate := func() bool {
 		if c.suppress {
@@ -45,7 +44,7 @@ func (circulationProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
 		}
 		return true
 	}
-	return bindSlotArbitrate(n, c, gate, capture, nil)
+	return bindSlotArbitrate(n, c, gate, nil, nil)
 }
 
 func (circulationProtocol) LaunchHeld(n *Network, c *channel) func(now int64) { return nil }

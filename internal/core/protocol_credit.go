@@ -64,7 +64,7 @@ func (creditGlobalProtocol) Wire(n *Network, c *channel) {
 }
 
 func (creditGlobalProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
-	return bindGlobalArbitrate(n, c, bindGlobalCapture(n, c, c.rc), c.rc.PassHome)
+	return bindGlobalArbitrate(n, c, bindGlobalSweep(n, c, c.rc), c.rc.PassHome)
 }
 
 func (creditGlobalProtocol) LaunchHeld(n *Network, c *channel) func(now int64) {
@@ -112,7 +112,6 @@ func (creditSlotProtocol) Wire(n *Network, c *channel) {
 }
 
 func (creditSlotProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
-	capture := bindSlotCapture(n, c, c.sc)
 	// Token Slot: emission gated on credits.
 	gate := func() bool {
 		if !c.sc.CanEmit() {
@@ -129,7 +128,7 @@ func (creditSlotProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
 		}
 		return true
 	}
-	return bindSlotArbitrate(n, c, gate, capture, c.sc.Expire)
+	return bindSlotArbitrate(n, c, gate, c.sc, c.sc.Expire)
 }
 
 func (creditSlotProtocol) LaunchHeld(n *Network, c *channel) func(now int64) { return nil }

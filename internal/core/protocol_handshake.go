@@ -97,6 +97,7 @@ func (n *Network) pulseLoss(c *channel) ring.LossFunc {
 func bindHandshakeArrive(n *Network, c *channel) func(now int64, pkt *router.Packet) {
 	return func(now int64, pkt *router.Packet) {
 		off := n.geom.Offset(c.home, pkt.Src)
+		queue := int(pkt.Tag>>40) % n.cfg.CoresPerNode
 		if pkt.AcceptedAt >= 0 {
 			// Duplicate of an already-accepted packet: its ACK was lost and
 			// the sender's timeout re-sent a copy. The home's dedup registry
@@ -108,7 +109,7 @@ func bindHandshakeArrive(n *Network, c *channel) func(now int64, pkt *router.Pac
 			c.dupsDiscarded++
 			n.stats.DupsDiscarded++
 			n.emit(EvDupDrop, pkt)
-			c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: true})
+			c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Queue: queue, Positive: true})
 			return
 		}
 		accepted := c.in.Accept(pkt)
@@ -120,46 +121,42 @@ func bindHandshakeArrive(n *Network, c *channel) func(now int64, pkt *router.Pac
 			n.orphans++
 			n.emit(EvDrop, pkt)
 		}
-		c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Positive: accepted})
+		c.hs.Send(now, off, ring.Ack{To: pkt.Src, PacketID: pkt.ID, Queue: queue, Positive: accepted})
 	}
 }
 
 // bindHandshakeDelivery builds the phase-2 closure applying ACK/NACK
-// pulses that reach senders this cycle.
-// Bound once per channel at construction; never inline (see bindGlobalCapture).
+// pulses that reach senders this cycle. The pulse's Queue field addresses
+// the owning output port directly — an answer the port cannot resolve is
+// a protocol bug, not a search miss.
+// Bound once per channel at construction; never inline (see bindGlobalSweep).
 //
 //go:noinline
 func bindHandshakeDelivery(n *Network, c *channel) func(now int64) {
 	return func(now int64) {
 		for _, ack := range c.hs.Deliver(now) {
-			nd := n.nodes[ack.To]
-			var hit bool
-			for _, q := range nd.queues {
-				var err error
-				var pkt *router.Packet
-				if ack.Positive {
-					pkt, err = q.out.Ack(ack.PacketID)
-				} else {
-					pkt, err = q.out.Nack(ack.PacketID)
-				}
-				if err == nil {
-					hit = true
-					if ack.Positive {
-						n.emit(EvAck, pkt)
-						if q.out.Policy() == router.Setaside {
-							// The ACK released the packet's setaside slot.
-							n.emitTap(EvSetasideExit, pkt)
-						}
-					} else {
-						n.emit(EvNack, pkt)
-					}
-					n.updateQueueWant(nd, q)
-					break
-				}
+			nd := &n.nodes[ack.To]
+			q := &n.queues[ack.To*n.cfg.CoresPerNode+ack.Queue]
+			var err error
+			var pkt *router.Packet
+			if ack.Positive {
+				pkt, err = q.out.Ack(ack.PacketID)
+			} else {
+				pkt, err = q.out.Nack(ack.PacketID)
 			}
-			if !hit {
-				panic(fmt.Sprintf("core: handshake for unknown packet %d at node %d", ack.PacketID, ack.To))
+			if err != nil {
+				panic(fmt.Sprintf("core: handshake for packet %d at node %d: %v", ack.PacketID, ack.To, err))
 			}
+			if ack.Positive {
+				n.emit(EvAck, pkt)
+				if q.out.Policy() == router.Setaside {
+					// The ACK released the packet's setaside slot.
+					n.emitTap(EvSetasideExit, pkt)
+				}
+			} else {
+				n.emit(EvNack, pkt)
+			}
+			n.updateQueueWant(nd, q)
 		}
 	}
 }
@@ -174,7 +171,7 @@ func (handshakeGlobalProtocol) Wire(n *Network, c *channel) {
 }
 
 func (handshakeGlobalProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
-	return bindGlobalArbitrate(n, c, bindGlobalCapture(n, c, nil), nil)
+	return bindGlobalArbitrate(n, c, bindGlobalSweep(n, c, nil), nil)
 }
 
 func (handshakeGlobalProtocol) LaunchHeld(n *Network, c *channel) func(now int64) {
@@ -208,7 +205,6 @@ func (handshakeSlotProtocol) Wire(n *Network, c *channel) {
 }
 
 func (handshakeSlotProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
-	capture := bindSlotCapture(n, c, nil)
 	// DHS: a token every cycle, unconditionally (unless it dies leaving
 	// home under fault injection).
 	gate := func() bool {
@@ -218,7 +214,7 @@ func (handshakeSlotProtocol) Arbitrate(n *Network, c *channel) func(now int64) {
 		}
 		return true
 	}
-	return bindSlotArbitrate(n, c, gate, capture, nil)
+	return bindSlotArbitrate(n, c, gate, nil, nil)
 }
 
 func (handshakeSlotProtocol) LaunchHeld(n *Network, c *channel) func(now int64) { return nil }

@@ -95,6 +95,13 @@ func (c *DataChannel[T]) Arrival(now int64) (T, bool) {
 	return c.inFlit.PopDue(now)
 }
 
+// SkipTo fast-forwards an *empty* channel's clock to cycle now — the
+// engine's idle skip-ahead uses it after proving nothing is in flight.
+// lastDue needs no adjustment: it is an absolute cycle in the past, and
+// every post-skip launch computes a later due cycle. Panics via the slot
+// line if a flit is still travelling.
+func (c *DataChannel[T]) SkipTo(now int64) { c.inFlit.SkipTo(now) }
+
 // InFlight reports how many flits are currently on the channel.
 func (c *DataChannel[T]) InFlight() int { return c.inFlit.Len() }
 

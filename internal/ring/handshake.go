@@ -13,6 +13,13 @@ type Ack struct {
 	// PacketID identifies the packet the answer refers to (simulator-side
 	// bookkeeping; the hardware needs no id thanks to fixed timing).
 	PacketID uint64
+	// Queue is the sender-side output queue (core index within the node)
+	// the answered packet was launched from — simulator-side routing that
+	// lets delivery address the owning port directly instead of probing
+	// every queue at the node. The hardware needs no such field: the
+	// per-queue pending state is indexed by the same fixed timing that
+	// makes PacketID redundant.
+	Queue int
 	// Positive is true for ACK (packet buffered at home), false for NACK
 	// (packet dropped; sender must retransmit).
 	Positive bool
@@ -88,6 +95,11 @@ func (h *HandshakeChannel) Deliver(now int64) []Ack {
 	}
 	return kept
 }
+
+// SkipTo fast-forwards the channel's clock to cycle now when no pulse is
+// in flight (the engine's idle skip-ahead). Panics via the delay line if a
+// pulse is still travelling.
+func (h *HandshakeChannel) SkipTo(now int64) { h.line.SkipTo(now) }
 
 // InFlight reports the number of pulses currently travelling.
 func (h *HandshakeChannel) InFlight() int { return h.line.Len() }

@@ -18,6 +18,10 @@ type InPort struct {
 	stallProb float64
 	rng       *sim.RNG
 
+	// scratch backs the slice Eject returns; the caller owns it only until
+	// the next Eject call, which keeps the per-cycle drain allocation-free.
+	scratch []*Packet
+
 	ejected int64
 	peak    int
 	stalls  int64
@@ -64,13 +68,17 @@ func (in *InPort) Accept(p *Packet) bool {
 }
 
 // Eject drains up to EjectRate packets to the cores and returns them; an
-// ejection stall (probability StallProb) drains nothing this cycle.
+// ejection stall (probability StallProb) drains nothing this cycle. The
+// returned slice is valid only until the next Eject call.
 func (in *InPort) Eject() []*Packet {
 	if in.stallProb > 0 && in.rng != nil && in.rng.Bernoulli(in.stallProb) {
 		in.stalls++
 		return nil
 	}
-	var out []*Packet
+	if in.buf.Empty() {
+		return nil
+	}
+	out := in.scratch[:0]
 	for i := 0; i < in.ejectRate; i++ {
 		p, ok := in.buf.PopFront()
 		if !ok {
@@ -79,6 +87,7 @@ func (in *InPort) Eject() []*Packet {
 		out = append(out, p)
 		in.ejected++
 	}
+	in.scratch = out
 	return out
 }
 

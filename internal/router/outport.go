@@ -66,7 +66,8 @@ type OutPort struct {
 	queue       *sim.Queue[*Packet]
 	setaside    []pendingEntry // used by Setaside policy, cap setasideCap
 	setasideCap int
-	pending     *pendingEntry // used by HoldHead policy
+	pending     pendingEntry // used by HoldHead policy, valid iff hasPending
+	hasPending  bool
 
 	peakQueue    int
 	peakSetaside int
@@ -79,11 +80,15 @@ func NewOutPort(policy SendPolicy, queueCap, setasideCap int) *OutPort {
 	if policy == Setaside && setasideCap < 1 {
 		panic("router: setaside policy needs at least one setaside slot")
 	}
-	return &OutPort{
+	o := &OutPort{
 		policy:      policy,
 		queue:       sim.NewQueue[*Packet](queueCap),
 		setasideCap: setasideCap,
 	}
+	if policy == Setaside {
+		o.setaside = make([]pendingEntry, 0, setasideCap)
+	}
+	return o
 }
 
 // Policy returns the port's send policy.
@@ -108,7 +113,7 @@ func (o *OutPort) SetasideLen() int { return len(o.setaside) }
 // Unacked reports the number of sent packets awaiting handshake.
 func (o *OutPort) Unacked() int {
 	n := len(o.setaside)
-	if o.pending != nil {
+	if o.hasPending {
 		n++
 	}
 	return n
@@ -132,7 +137,7 @@ func (o *OutPort) Backlog() int { return o.queue.Len() + o.Unacked() }
 //  2. the head of the output queue, provided the policy allows a new
 //     launch (HoldHead: nothing pending; Setaside: a free setaside slot).
 func (o *OutPort) NextReady() *Packet {
-	if o.pending != nil {
+	if o.hasPending {
 		if o.pending.needsRetx {
 			return o.pending.pkt
 		}
@@ -164,7 +169,7 @@ func (o *OutPort) MarkSent(pkt *Packet, now int64) {
 	}
 
 	// Retransmission of the held packet?
-	if o.pending != nil && o.pending.pkt == pkt {
+	if o.hasPending && o.pending.pkt == pkt {
 		if !o.pending.needsRetx {
 			panic("router: re-sending a packet that is still awaiting its handshake")
 		}
@@ -195,10 +200,11 @@ func (o *OutPort) MarkSent(pkt *Packet, now int64) {
 		// Sender forgets the packet; delivery is the receiver's problem
 		// (guaranteed by credits, or by circulation).
 	case HoldHead:
-		if o.pending != nil {
+		if o.hasPending {
 			panic("router: HoldHead launched with a packet already pending")
 		}
-		o.pending = &pendingEntry{pkt: pkt}
+		o.pending = pendingEntry{pkt: pkt}
+		o.hasPending = true
 	case Setaside:
 		if len(o.setaside) >= o.setasideCap {
 			panic("router: setaside overflow on launch")
@@ -212,8 +218,8 @@ func (o *OutPort) MarkSent(pkt *Packet, now int64) {
 
 // entryFor returns the pending/setaside entry holding pkt, or nil.
 func (o *OutPort) entryFor(pkt *Packet) *pendingEntry {
-	if o.pending != nil && o.pending.pkt == pkt {
-		return o.pending
+	if o.hasPending && o.pending.pkt == pkt {
+		return &o.pending
 	}
 	for i := range o.setaside {
 		if o.setaside[i].pkt == pkt {
@@ -262,8 +268,8 @@ func (o *OutPort) ExpireTimeouts(now int64, fire func(*Packet)) int {
 			fire(e.pkt)
 		}
 	}
-	if o.pending != nil {
-		expire(o.pending)
+	if o.hasPending {
+		expire(&o.pending)
 	}
 	for i := range o.setaside {
 		expire(&o.setaside[i])
@@ -274,12 +280,13 @@ func (o *OutPort) ExpireTimeouts(now int64, fire func(*Packet)) int {
 // Ack resolves a positive handshake for packet id, releasing it from the
 // pending/setaside state. It returns the acknowledged packet.
 func (o *OutPort) Ack(id uint64) (*Packet, error) {
-	if o.pending != nil && o.pending.pkt.ID == id {
+	if o.hasPending && o.pending.pkt.ID == id {
 		pkt := o.pending.pkt
 		if o.pending.needsRetx {
 			return nil, fmt.Errorf("router: ACK for packet %d which is marked for retransmission", id)
 		}
-		o.pending = nil
+		o.pending = pendingEntry{}
+		o.hasPending = false
 		return pkt, nil
 	}
 	for i := range o.setaside {
@@ -298,7 +305,7 @@ func (o *OutPort) Ack(id uint64) (*Packet, error) {
 // Nack resolves a negative handshake: the packet stays owned by the port
 // and becomes eligible for retransmission.
 func (o *OutPort) Nack(id uint64) (*Packet, error) {
-	if o.pending != nil && o.pending.pkt.ID == id {
+	if o.hasPending && o.pending.pkt.ID == id {
 		o.pending.needsRetx = true
 		o.pending.deadline = 0
 		o.pending.backoff = 0

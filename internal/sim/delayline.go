@@ -13,6 +13,7 @@ import "fmt"
 type DelayLine[T any] struct {
 	buckets [][]T
 	now     int64 // next cycle to be popped
+	idx     int   // now % len(buckets), maintained incrementally
 	count   int
 }
 
@@ -45,17 +46,47 @@ func (d *DelayLine[T]) Schedule(due int64, v T) {
 // PopDue returns (and removes) every item scheduled for cycle now. Cycles
 // must be popped in non-decreasing order; skipping a cycle forfeits its
 // items, so callers pop every cycle. The returned slice is owned by the
-// caller until the same bucket cycles around.
+// caller until the same bucket cycles around: the bucket's storage is
+// retained for reuse (a bucket popped at cycle c cannot be scheduled into
+// again before cycle c+1 by the horizon bound, so the caller always gets
+// a full cycle of exclusive ownership), which makes steady-state
+// scheduling allocation-free.
 func (d *DelayLine[T]) PopDue(now int64) []T {
 	if now < d.now {
 		return nil
 	}
+	idx := d.idx
+	if now != d.now {
+		// Cycles were skipped: recompute the ring position (rare).
+		idx = int(now % int64(len(d.buckets)))
+	}
 	d.now = now + 1
-	idx := now % int64(len(d.buckets))
+	if d.idx = idx + 1; d.idx == len(d.buckets) {
+		d.idx = 0
+	}
 	out := d.buckets[idx]
-	d.buckets[idx] = nil
+	if out == nil {
+		return nil
+	}
+	d.buckets[idx] = out[:0]
 	d.count -= len(out)
 	return out
+}
+
+// SkipTo fast-forwards an *empty* delay line's clock to cycle now, so the
+// next Schedule/PopDue sees a current horizon. It is the discrete-event
+// companion to the cycle-by-cycle PopDue: when the owner proves nothing is
+// in flight it may skip the intervening cycles in one step. Skipping a
+// non-empty line would silently strand its items, so that panics.
+func (d *DelayLine[T]) SkipTo(now int64) {
+	if now <= d.now {
+		return
+	}
+	if d.count != 0 {
+		panic(fmt.Sprintf("sim: DelayLine skip to cycle %d with %d items in flight", now, d.count))
+	}
+	d.now = now
+	d.idx = int(now % int64(len(d.buckets)))
 }
 
 // SlotLine is a DelayLine restricted to at most one item per cycle. The
@@ -67,6 +98,7 @@ func (d *DelayLine[T]) PopDue(now int64) []T {
 type SlotLine[T any] struct {
 	slots []slotEntry[T]
 	now   int64
+	idx   int // now % len(slots), maintained incrementally
 	count int
 }
 
@@ -130,8 +162,15 @@ func (s *SlotLine[T]) PopDue(now int64) (T, bool) {
 	if now < s.now {
 		return zero, false
 	}
+	idx := s.idx
+	if now != s.now {
+		// Cycles were skipped: recompute the ring position (rare).
+		idx = int(now % int64(len(s.slots)))
+	}
 	s.now = now + 1
-	idx := now % int64(len(s.slots))
+	if s.idx = idx + 1; s.idx == len(s.slots) {
+		s.idx = 0
+	}
 	e := s.slots[idx]
 	if !e.full {
 		return zero, false
@@ -139,4 +178,17 @@ func (s *SlotLine[T]) PopDue(now int64) (T, bool) {
 	s.slots[idx] = slotEntry[T]{}
 	s.count--
 	return e.val, true
+}
+
+// SkipTo fast-forwards an *empty* slot line's clock to cycle now (see
+// DelayLine.SkipTo). Panics if any slot is still occupied.
+func (s *SlotLine[T]) SkipTo(now int64) {
+	if now <= s.now {
+		return
+	}
+	if s.count != 0 {
+		panic(fmt.Sprintf("sim: SlotLine skip to cycle %d with %d slots occupied", now, s.count))
+	}
+	s.now = now
+	s.idx = int(now % int64(len(s.slots)))
 }

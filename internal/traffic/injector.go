@@ -12,13 +12,15 @@ import (
 // Injector drives a network with Bernoulli arrivals: every cycle, every
 // core independently injects a packet with probability Rate (the paper's
 // load axis, packets/cycle/core). Each core owns a private RNG stream so
-// results are reproducible and insensitive to core iteration order.
+// results are reproducible and insensitive to core iteration order; the
+// streams live in one contiguous slice because generate touches every one
+// of them every cycle.
 type Injector struct {
 	pattern      Pattern
 	rate         float64
 	nodes        int
 	coresPerNode int
-	rngs         []*sim.RNG
+	rngs         []sim.RNG
 	stopped      bool
 }
 
@@ -43,9 +45,9 @@ func NewInjector(pattern Pattern, rate float64, nodes, coresPerNode int, seed ui
 	}
 	cores := nodes * coresPerNode
 	root := sim.NewRNG(seed)
-	rngs := make([]*sim.RNG, cores)
+	rngs := make([]sim.RNG, cores)
 	for i := range rngs {
-		rngs[i] = root.Fork(uint64(i))
+		rngs[i] = *root.Fork(uint64(i))
 	}
 	return &Injector{
 		pattern:      pattern,
@@ -81,7 +83,8 @@ func (in *Injector) Tick(net *core.Network) {
 // and by tape recording (tape.go), so a recorded tape is bit-identical to
 // what the live injector would have produced.
 func (in *Injector) generate(emit func(core, dst int)) {
-	for c, rng := range in.rngs {
+	for c := range in.rngs {
+		rng := &in.rngs[c]
 		if !rng.Bernoulli(in.rate) {
 			continue
 		}
@@ -99,9 +102,8 @@ func (in *Injector) Run(net *core.Network) core.Result {
 		in.Tick(net)
 		net.Step()
 	}
-	// Drain: stop injecting, let tagged packets finish.
-	for cyc := int64(0); cyc < w.Drain; cyc++ {
-		net.Step()
-	}
+	// Drain: stop injecting, let tagged packets finish. RunCycles engages
+	// the idle fast path once the tail has fully drained.
+	net.RunCycles(w.Drain)
 	return net.Result()
 }

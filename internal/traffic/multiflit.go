@@ -24,7 +24,7 @@ type MultiFlitInjector struct {
 	flitsPerMsg   int
 	nodes         int
 	coresPerNode  int
-	rngs          []*sim.RNG
+	rngs          []sim.RNG
 	stopped       bool
 	nextMsg       uint64
 	remaining     map[uint64]int
@@ -48,9 +48,9 @@ func NewMultiFlitInjector(pattern Pattern, rate float64, flitsPerMsg, nodes, cor
 	}
 	cores := nodes * coresPerNode
 	root := sim.NewRNG(seed)
-	rngs := make([]*sim.RNG, cores)
+	rngs := make([]sim.RNG, cores)
 	for i := range rngs {
-		rngs[i] = root.Fork(uint64(i))
+		rngs[i] = *root.Fork(uint64(i))
 	}
 	return &MultiFlitInjector{
 		pattern:      pattern,
@@ -103,7 +103,8 @@ func (in *MultiFlitInjector) Tick(net *core.Network) {
 	if in.stopped {
 		return
 	}
-	for c, rng := range in.rngs {
+	for c := range in.rngs {
+		rng := &in.rngs[c]
 		if !rng.Bernoulli(in.rate) {
 			continue
 		}
@@ -130,9 +131,7 @@ func (in *MultiFlitInjector) Run(net *core.Network) (avgMsgLatency float64, msgT
 		in.Tick(net)
 		net.Step()
 	}
-	for cyc := int64(0); cyc < w.Drain; cyc++ {
-		net.Step()
-	}
+	net.RunCycles(w.Drain)
 	cores := float64(net.Config().Cores())
 	return in.MsgLatency.Mean(), float64(in.MessagesDone) / float64(w.Warmup+w.Measure) / cores
 }

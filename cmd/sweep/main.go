@@ -10,15 +10,27 @@
 //	sweep -fig 11f             # Fig 11(f): setaside size study
 //	sweep -claims              # up-to-62% throughput / sub-1% drop claims
 //	sweep -fig 8 -quick -csv   # fast grid, CSV output
+//
+// Fault-tolerant regeneration: -farm runs a named point grid under the
+// supervised sweep farm — a durable manifest journals every completed
+// point, so a killed run resumes where it left off, and a poison point
+// is retried with backoff then quarantined instead of wedging the grid:
+//
+//	sweep -farm figures -quick -manifest run.jsonl   # full quick grid, journalled
+//	sweep -farm figures -quick -manifest run.jsonl -resume   # pick up after a crash
+//	sweep -farm fig8:UR -farm-shards                 # one subprocess per point
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"photon/internal/core"
 	"photon/internal/exp"
+	"photon/internal/farm"
 	"photon/internal/router"
 	"photon/internal/stats"
 	"photon/internal/viz"
@@ -35,6 +47,21 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		plot    = flag.Bool("plot", false, "also render an ASCII chart (latency clipped at 100 cycles, like the paper's axes)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+
+		farmGridFlag = flag.String("farm", "", "run a named point grid under the supervised sweep farm: "+strings.Join(exp.FigureGridNames(), ", "))
+		manifest     = flag.String("manifest", "", "journal farm progress to this file (crash-safe JSONL)")
+		resume       = flag.Bool("resume", false, "resume a farm run from its manifest, skipping completed points")
+		maxAttempts  = flag.Int("max-attempts", 3, "farm: attempts per point before quarantine")
+		farmWorkers  = flag.Int("farm-workers", 0, "farm: concurrent workers (0 = GOMAXPROCS)")
+		farmShards   = flag.Bool("farm-shards", false, "farm: run each point in its own subprocess (OS-level isolation)")
+		farmTimeout  = flag.Duration("farm-timeout", 0, "farm: per-point deadline (0 = none)")
+		fsync        = flag.Bool("fsync", false, "farm: fsync the manifest after every record")
+
+		// Hidden worker mode: the supervisor re-invokes this binary as
+		// `sweep -farm-worker -farm-grid <name> -farm-point <i> [...]`.
+		workerMode  = flag.Bool("farm-worker", false, "internal: run one farm point and print its result line")
+		workerGrid  = flag.String("farm-grid", "", "internal: grid name for -farm-worker")
+		workerPoint = flag.Int("farm-point", -1, "internal: point index for -farm-worker")
 	)
 	flag.Parse()
 
@@ -43,6 +70,23 @@ func main() {
 		opts = exp.QuickOptions()
 	}
 	opts.Seed = *seed
+
+	if *workerMode {
+		if err := farm.RunWorker(os.Stdout, *workerGrid, *workerPoint, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *farmGridFlag != "" {
+		if err := runFarm(*farmGridFlag, opts, farmFlags{
+			manifest: *manifest, resume: *resume, maxAttempts: *maxAttempts,
+			workers: *farmWorkers, shards: *farmShards, timeout: *farmTimeout,
+			fsync: *fsync, quick: *quick, seed: *seed, csv: *csv,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	emit := func(t *stats.Table) {
 		var err error
@@ -164,6 +208,87 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+type farmFlags struct {
+	manifest    string
+	resume      bool
+	maxAttempts int
+	workers     int
+	shards      bool
+	timeout     time.Duration
+	fsync       bool
+	quick       bool
+	seed        uint64
+	csv         bool
+}
+
+// runFarm executes a named grid under the supervised farm and renders
+// the per-point summaries, the merged grid digest, and any quarantine
+// report. Exit status 1 signals an incomplete (quarantined) grid.
+func runFarm(gridName string, opts exp.Options, ff farmFlags) error {
+	g, err := farm.Build(gridName, opts)
+	if err != nil {
+		return err
+	}
+	cfg := farm.Config{
+		Workers:      ff.workers,
+		MaxAttempts:  ff.maxAttempts,
+		PointTimeout: ff.timeout,
+		Manifest:     ff.manifest,
+		Resume:       ff.resume,
+		Sync:         ff.fsync,
+	}
+	if ff.shards {
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("sweep: resolving own binary for shards: %w", err)
+		}
+		extra := []string{"-seed", fmt.Sprint(ff.seed)}
+		if ff.quick {
+			extra = append(extra, "-quick")
+		}
+		cfg.Exec = farm.SelfExec(self, extra...)
+	}
+	start := time.Now()
+	rep, err := farm.Run(g, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	t := stats.NewTable(fmt.Sprintf("farm grid %s (%d points)", g.Name, len(g.Points)),
+		"point", "status", "attempts", "resumed", "avg-lat", "throughput", "digest")
+	for _, p := range rep.Points {
+		lat, tput, digest := "-", "-", "-"
+		if p.Status == farm.StatusDone {
+			lat = fmt.Sprintf("%.1f", p.Summary.AvgLatency)
+			tput = fmt.Sprintf("%.4f", p.Summary.Throughput)
+			digest = fmt.Sprintf("%016x", p.Digest)
+		}
+		resumed := ""
+		if p.Resumed {
+			resumed = "yes"
+		}
+		t.AddRow(p.Key, string(p.Status), p.Attempts, resumed, lat, tput, digest)
+	}
+	if ff.csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfarm: %d ran, %d resumed in %.1fs; grid digest %016x\n",
+		rep.Ran, rep.Resumed, elapsed.Seconds(), rep.GridDigest())
+	if q := rep.Quarantined(); len(q) > 0 {
+		for _, p := range q {
+			fmt.Fprintf(os.Stderr, "sweep: quarantined %s after %d attempts: %s\n", p.Key, p.Attempts, p.LastError)
+		}
+		os.Exit(1)
+	}
+	return nil
 }
 
 func fatal(err error) {

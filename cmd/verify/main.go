@@ -96,11 +96,12 @@ func main() {
 		traceLoad    = flag.Float64("trace-load", 0.13, "offered load for the traced point")
 		traceFormat  = flag.String("trace-format", "table", "export format: table, chrome, flame")
 		traceOut     = flag.String("trace-out", "", "output path (default stdout)")
+		traceStream  = flag.Bool("trace-stream", false, "with -trace: use the windowed streaming assembler (bounded memory; table format only)")
 	)
 	flag.Parse()
 
 	if *trace {
-		if err := runTrace(*traceScheme, *tracePattern, *traceLoad, *traceFormat, *traceOut, *seed, *quick); err != nil {
+		if err := runTrace(*traceScheme, *tracePattern, *traceLoad, *traceFormat, *traceOut, *seed, *quick, *traceStream); err != nil {
 			fmt.Fprintln(os.Stderr, "verify:", err)
 			os.Exit(1)
 		}
@@ -258,8 +259,11 @@ func main() {
 }
 
 // runTrace runs one point with the event tap armed and exports the
-// assembled spans in the requested format.
-func runTrace(schemeName, patternName string, load float64, format, outPath string, seed uint64, quick bool) error {
+// assembled spans in the requested format. With stream set it uses the
+// windowed streaming assembler instead: spans are attributed and dropped
+// as they deliver, so the trace's footprint is bounded by the live
+// packet population — the mode for long runs the batch tap cannot hold.
+func runTrace(schemeName, patternName string, load float64, format, outPath string, seed uint64, quick, stream bool) error {
 	scheme, err := core.ParseScheme(schemeName)
 	if err != nil {
 		return err
@@ -278,8 +282,36 @@ func runTrace(schemeName, patternName string, load float64, format, outPath stri
 		opts = exp.QuickOptions()
 	}
 	opts.Seed = seed
+	point := exp.Point{Scheme: scheme, Pattern: pattern, Rate: load}
 
-	res, tr, err := exp.RunTracedPoint(exp.Point{Scheme: scheme, Pattern: pattern, Rate: load}, opts)
+	if stream {
+		if format != "table" {
+			return fmt.Errorf("-trace-stream drops spans after attribution; format %q needs the batch tap (drop -trace-stream)", format)
+		}
+		res, attr, st, err := exp.RunStreamedPoint(point, opts)
+		if err != nil {
+			return err
+		}
+		out := io.Writer(os.Stdout)
+		if outPath != "" {
+			f, err := os.Create(outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := writeAttributionTable(out, scheme, patternName, load, attr); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out,
+			"\nstreamed %d spans, peak %d live (%.1f%% of flushed)  digest %016x (stream is digest-inert)\nexact mean %.4f == measured AvgLatency %.4f\n",
+			st.Flushed(), st.MaxLive(), 100*float64(st.MaxLive())/float64(st.Flushed()),
+			res.Digest, attr.AvgTotal(), res.AvgLatency)
+		return err
+	}
+
+	res, tr, err := exp.RunTracedPoint(point, opts)
 	if err != nil {
 		return err
 	}
@@ -305,17 +337,7 @@ func runTrace(schemeName, patternName string, load float64, format, outPath stri
 		return ptrace.WriteFlame(out, tr, fmt.Sprintf("%s-%s@%.2f", scheme, patternName, load))
 	case "table":
 		attr := ptrace.Aggregate(tr, true)
-		t := stats.NewTable(
-			fmt.Sprintf("%s %s @ %.3f — exact attribution over %d measured deliveries (%d local)",
-				scheme, patternName, load, attr.Spans, attr.Local),
-			"phase", "total cycles", "avg cycles/packet")
-		for k := 0; k < ptrace.NumPhases; k++ {
-			kind := ptrace.PhaseKind(k)
-			t.AddRow(kind.String(), attr.Phases[k], fmt.Sprintf("%.2f", attr.AvgPhase(kind)))
-		}
-		t.AddRow("total", attr.Total, fmt.Sprintf("%.2f", attr.AvgTotal()))
-		t.AddRow("(setaside overlap)", attr.Setaside, "")
-		if err := t.WriteText(out); err != nil {
+		if err := writeAttributionTable(out, scheme, patternName, load, attr); err != nil {
 			return err
 		}
 		_, err = fmt.Fprintf(out,
@@ -325,4 +347,20 @@ func runTrace(schemeName, patternName string, load float64, format, outPath stri
 	default:
 		return fmt.Errorf("unknown trace format %q (table, chrome, flame)", format)
 	}
+}
+
+// writeAttributionTable renders the per-phase exact attribution table
+// shared by the batch and streaming trace modes.
+func writeAttributionTable(out io.Writer, scheme core.Scheme, patternName string, load float64, attr ptrace.Attribution) error {
+	t := stats.NewTable(
+		fmt.Sprintf("%s %s @ %.3f — exact attribution over %d measured deliveries (%d local)",
+			scheme, patternName, load, attr.Spans, attr.Local),
+		"phase", "total cycles", "avg cycles/packet")
+	for k := 0; k < ptrace.NumPhases; k++ {
+		kind := ptrace.PhaseKind(k)
+		t.AddRow(kind.String(), attr.Phases[k], fmt.Sprintf("%.2f", attr.AvgPhase(kind)))
+	}
+	t.AddRow("total", attr.Total, fmt.Sprintf("%.2f", attr.AvgTotal()))
+	t.AddRow("(setaside overlap)", attr.Setaside, "")
+	return t.WriteText(out)
 }

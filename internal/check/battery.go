@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
-	"sync"
 
 	"photon/internal/core"
 	"photon/internal/exp"
+	"photon/internal/farm"
 	"photon/internal/sim"
 	"photon/internal/stats"
 	"photon/internal/traffic"
@@ -226,20 +226,16 @@ func Run(b Battery) (*Report, error) {
 		}
 	}
 
+	// farm.Do supervises the fan-out: bounded workers, and a panicking
+	// verification job reports itself in its error slot instead of
+	// crashing the battery.
 	reports := make([]PointReport, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, b.workers())
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			reports[i], errs[i] = verifyPoint(b, j.scheme, j.pattern, j.rate, j.tape)
-		}(i, j)
-	}
-	wg.Wait()
+	errs := farm.Do(len(jobs), b.workers(), func(i int) error {
+		var err error
+		j := jobs[i]
+		reports[i], err = verifyPoint(b, j.scheme, j.pattern, j.rate, j.tape)
+		return err
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("check: %s %s %.3f: %w",
@@ -317,6 +313,33 @@ func Run(b Battery) (*Report, error) {
 		}
 	}
 	rep.Cross = append(rep.Cross, pc)
+
+	// Farm-vs-serial equivalence: the supervised sweep farm (retries,
+	// per-point containment, out-of-order completion) must fold the same
+	// representative points into the exact grid digest a serial run
+	// produces — the property that makes crash/resume regeneration
+	// trustworthy.
+	fc := Check{Name: "farm vs serial RunPoints (grid digest)", Pass: true}
+	fg := farm.Grid{Name: "battery-cross", Points: points, Opts: opts}
+	fr, err := farm.Run(fg, farm.Config{Workers: 8})
+	switch {
+	case err != nil:
+		fc.Pass = false
+		fc.Detail = fmt.Sprintf("farm run failed: %v", err)
+	case !fr.Complete():
+		fc.Pass = false
+		fc.Detail = fmt.Sprintf("farm quarantined %d of %d points", len(fr.Quarantined()), len(points))
+	default:
+		ds := make([]uint64, len(serial))
+		for i, r := range serial {
+			ds[i] = r.Digest
+		}
+		if want := farm.MergeDigests(ds); fr.GridDigest() != want {
+			fc.Pass = false
+			fc.Detail = fmt.Sprintf("farm grid digest %016x != serial %016x", fr.GridDigest(), want)
+		}
+	}
+	rep.Cross = append(rep.Cross, fc)
 	return rep, nil
 }
 

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
-	"sync"
 
 	"photon/internal/core"
 	"photon/internal/fault"
+	"photon/internal/farm"
 	"photon/internal/sim"
 	"photon/internal/stats"
 	"photon/internal/traffic"
@@ -231,19 +231,12 @@ func RunChaos(b ChaosBattery) (*ChaosReport, error) {
 	}
 
 	points := make([]ChaosPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, b.workers())
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			points[i], errs[i] = b.verifyChaosPoint(j.scheme, j.class, j.rate, tape)
-		}(i, j)
-	}
-	wg.Wait()
+	errs := farm.Do(len(jobs), b.workers(), func(i int) error {
+		var err error
+		j := jobs[i]
+		points[i], err = b.verifyChaosPoint(j.scheme, j.class, j.rate, tape)
+		return err
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("check: chaos %s %s %.3f: %w",

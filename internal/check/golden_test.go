@@ -6,11 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sync"
 	"testing"
 
 	"photon/internal/core"
+	"photon/internal/farm"
 	"photon/internal/fault"
 	"photon/internal/sim"
 	"photon/internal/traffic"
@@ -151,23 +150,11 @@ func goldenChaosPoints(t *testing.T, seed uint64) []goldenPoint {
 	return points
 }
 
-// runGoldenJobs fans n independent point runs over GOMAXPROCS workers.
+// runGoldenJobs fans n independent point runs over the farm's supervised
+// pool (GOMAXPROCS workers, panics contained into error slots).
 func runGoldenJobs(t *testing.T, n int, run func(i int) error) {
 	t.Helper()
-	errs := make([]error, n)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = run(i)
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	for i, err := range farm.Do(n, 0, run) {
 		if err != nil {
 			t.Fatalf("golden point %d: %v", i, err)
 		}

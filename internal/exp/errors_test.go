@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"photon/internal/core"
@@ -28,6 +30,56 @@ func TestSweepPropagatesPointErrors(t *testing.T) {
 	}}
 	if _, err := Sweep(series, traffic.UniformRandom{}, []float64{0.01}, quickOpts()); err == nil {
 		t.Error("Sweep swallowed a configuration error")
+	}
+}
+
+// TestRunPointsContainsPanic pins the supervision contract of the worker
+// pool: a panicking point surfaces as a *PointPanic carrying the point's
+// identity and stack instead of crashing the pool, and the error message
+// names which point died.
+func TestRunPointsContainsPanic(t *testing.T) {
+	points := []Point{
+		{Scheme: core.TokenSlot, Pattern: traffic.UniformRandom{}, Rate: 0.01},
+		{Scheme: core.DHS, Pattern: traffic.UniformRandom{}, Rate: 0.01,
+			Mod: func(*core.Config) { panic("wired to explode") }},
+		{Scheme: core.GHS, Pattern: traffic.UniformRandom{}, Rate: 0.01},
+	}
+	opts := quickOpts()
+	opts.Parallel = 2
+	_, err := RunPoints(points, opts)
+	if err == nil {
+		t.Fatal("panicking point did not surface as an error")
+	}
+	var pp *PointPanic
+	if !errors.As(err, &pp) {
+		t.Fatalf("error is not a *PointPanic: %v", err)
+	}
+	if pp.Scheme != core.DHS || pp.Value != "wired to explode" {
+		t.Fatalf("panic lost the point identity or value: %+v", pp)
+	}
+	if len(pp.Stack) == 0 {
+		t.Fatal("panic lost its stack")
+	}
+	if !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("error does not name the point: %v", err)
+	}
+}
+
+// TestSafeRunPointPassthrough pins that the recovery wrapper is inert on
+// healthy points: same result, same digest as the direct call.
+func TestSafeRunPointPassthrough(t *testing.T) {
+	p := Point{Scheme: core.TokenSlot, Pattern: traffic.UniformRandom{}, Rate: 0.02}
+	opts := quickOpts()
+	direct, err := RunPoint(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, err := SafeRunPoint(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Digest != direct.Digest {
+		t.Fatalf("recovery wrapper perturbed the run: %016x vs %016x", safe.Digest, direct.Digest)
 	}
 }
 

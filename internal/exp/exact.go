@@ -36,6 +36,45 @@ func RunTracedPoint(p Point, opts Options) (core.Result, *ptrace.TraceResult, er
 	return res, tr, nil
 }
 
+// RunStreamedPoint simulates one point with the windowed streaming
+// assembler armed instead of a batch tap: each span is validated and
+// folded into the attribution the moment its packet delivers, then
+// dropped, so the trace's resident footprint is bounded by the live
+// packet population instead of the run length. The returned Stream
+// carries the memory stats (MaxLive, Flushed); the attribution covers
+// measured delivered spans, exactly like Aggregate(tr, true) on a batch
+// trace of the same run. The stream is digest-inert, so Result matches
+// RunPoint bit for bit.
+func RunStreamedPoint(p Point, opts Options) (core.Result, ptrace.Attribution, *ptrace.Stream, error) {
+	cfg := core.DefaultConfig(p.Scheme)
+	cfg.Seed = opts.Seed
+	if p.Mod != nil {
+		p.Mod(&cfg)
+	}
+	net, err := core.NewNetwork(cfg, opts.Window)
+	if err != nil {
+		return core.Result{}, ptrace.Attribution{}, nil, err
+	}
+	inj, err := traffic.NewInjector(p.Pattern, p.Rate, cfg.Nodes, cfg.CoresPerNode, opts.Seed+0x9E37)
+	if err != nil {
+		return core.Result{}, ptrace.Attribution{}, nil, err
+	}
+	var attr ptrace.Attribution
+	st := ptrace.NewStream(ptrace.StreamConfig{OnSpan: func(s *ptrace.PacketSpan) error {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		attr.AddSpan(s, true)
+		return nil
+	}})
+	net.SetTracer(st)
+	res := inj.Run(net)
+	if err := st.Close(); err != nil {
+		return core.Result{}, ptrace.Attribution{}, nil, fmt.Errorf("exp: streaming trace for %s: %w", p.Scheme, err)
+	}
+	return res, attr, st, nil
+}
+
 // ExactBreakdownRow is one scheme's exact latency attribution at an
 // operating point: mean cycles per measured delivered packet in each
 // span phase. Unlike the legacy BreakdownRow — which reconstructs three

@@ -11,6 +11,7 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"photon/internal/core"
@@ -77,23 +78,65 @@ func RunPoint(p Point, opts Options) (core.Result, error) {
 	return inj.Run(net), nil
 }
 
+// PointPanic is a panic recovered inside one sweep point, converted into
+// an ordinary error carrying the point's identity. One corrupt corner of
+// a grid (an engine invariant violation, a DrainError) therefore fails
+// its sweep cleanly instead of killing the whole process — the contract
+// the farm supervisor and RunPoints both build on.
+type PointPanic struct {
+	Scheme  core.Scheme
+	Pattern string
+	Rate    float64
+	Value   any    // the recovered panic value
+	Stack   []byte // stack of the panicking goroutine
+}
+
+func (e *PointPanic) Error() string {
+	return fmt.Sprintf("exp: panic in point %s %s rate %.3g: %v", e.Scheme, e.Pattern, e.Rate, e.Value)
+}
+
+// SafeRunPoint is RunPoint with panic containment: a panic anywhere in
+// the point's construction or simulation is recovered into a *PointPanic
+// error instead of unwinding the caller.
+func SafeRunPoint(p Point, opts Options) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PointPanic{
+				Scheme: p.Scheme, Pattern: p.Pattern.Name(), Rate: p.Rate,
+				Value: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	return RunPoint(p, opts)
+}
+
 // RunPoints simulates points concurrently (each point is an independent
 // network, so parallelism does not perturb determinism) and returns
-// results in input order.
+// results in input order. Points run on a bounded worker pool pulling
+// from a shared channel — never one goroutine per point — and a panic in
+// any point is contained to that point and reported as its error.
 func RunPoints(points []Point, opts Options) ([]core.Result, error) {
 	results := make([]core.Result, len(points))
 	errs := make([]error, len(points))
-	sem := make(chan struct{}, opts.workers())
-	var wg sync.WaitGroup
-	for i := range points {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = RunPoint(points[i], opts)
-		}(i)
+	workers := opts.workers()
+	if workers > len(points) {
+		workers = len(points)
 	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = SafeRunPoint(points[i], opts)
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
@@ -197,14 +240,7 @@ type SweepSeries struct {
 
 // Sweep runs every (series, load) combination on a pattern.
 func Sweep(series []SweepSeries, pat traffic.Pattern, loads []float64, opts Options) ([]Curve, error) {
-	var points []Point
-	for _, s := range series {
-		for _, rate := range loads {
-			points = append(points, Point{
-				Scheme: s.Scheme, Label: s.Label, Pattern: pat, Rate: rate, Mod: s.Mod,
-			})
-		}
-	}
+	points := sweepPoints(series, pat, loads)
 	results, err := RunPoints(points, opts)
 	if err != nil {
 		return nil, err

@@ -33,16 +33,7 @@ func curvesToTable(title string, curves []Curve) *stats.Table {
 // credit counts 4/8/16/32 — the motivation figure showing credit-based
 // flow control's dependence on buffer depth.
 func Fig2b(opts Options) ([]Curve, *stats.Table, error) {
-	var series []SweepSeries
-	for _, credits := range []int{4, 8, 16, 32} {
-		credits := credits
-		series = append(series, SweepSeries{
-			Label:  fmt.Sprintf("Credit_%d", credits),
-			Scheme: core.TokenSlot,
-			Mod:    func(c *core.Config) { c.BufferDepth = credits },
-		})
-	}
-	curves, err := Sweep(series, traffic.UniformRandom{}, PaperLoads("UR", opts.Quick), opts)
+	curves, err := Sweep(creditSeries(core.TokenSlot), traffic.UniformRandom{}, PaperLoads("UR", opts.Quick), opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -104,16 +95,7 @@ func Fig11(scheme core.Scheme, opts Options) ([]Curve, *stats.Table, error) {
 	if scheme.CreditBased() {
 		return nil, nil, fmt.Errorf("exp: Fig11 is defined for the handshake schemes, not %v", scheme)
 	}
-	var series []SweepSeries
-	for _, credits := range []int{4, 8, 16, 32} {
-		credits := credits
-		series = append(series, SweepSeries{
-			Label:  fmt.Sprintf("Credit_%d", credits),
-			Scheme: scheme,
-			Mod:    func(c *core.Config) { c.BufferDepth = credits },
-		})
-	}
-	curves, err := Sweep(series, traffic.UniformRandom{}, PaperLoads("UR", opts.Quick), opts)
+	curves, err := Sweep(creditSeries(scheme), traffic.UniformRandom{}, PaperLoads("UR", opts.Quick), opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,46 @@
+package farm
+
+import "time"
+
+// Backoff is the deterministic exponential retry schedule: the pause
+// before re-queueing a failed point doubles per attempt from Base up to
+// Cap. No jitter — two supervisors replaying the same failure history
+// schedule identically, which keeps farm behaviour reproducible in tests.
+type Backoff struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Cap bounds the delay (default 5s).
+	Cap time.Duration
+}
+
+// withDefaults fills zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 5 * time.Second
+	}
+	if b.Cap < b.Base {
+		b.Cap = b.Base
+	}
+	return b
+}
+
+// Delay returns the pause after the attempt-th failed attempt
+// (1-based): Base<<(attempt-1), capped at Cap.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	// Past 62 doublings any int64 duration has overflowed; the cap rules.
+	if attempt-1 >= 62 {
+		return b.Cap
+	}
+	d := b.Base << uint(attempt-1)
+	if d <= 0 || d > b.Cap {
+		return b.Cap
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+package farm
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Do fans n independent jobs over a bounded worker pool (workers <= 0
+// means GOMAXPROCS) and returns one error slot per job, in job order. A
+// panic inside a job is recovered into its slot, so one poisoned job
+// reports itself instead of taking down the process — the primitive the
+// verification batteries (internal/check) run their point sweeps on.
+//
+// Do is the unsupervised little sibling of Run: no retries, no manifest,
+// no deadlines — just bounded concurrency and panic containment for
+// callers that handle their own error policy.
+func Do(n, workers int, run func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	safe := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("farm: job %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		return run(i)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = safe(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errs
+}

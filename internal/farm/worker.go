@@ -1,0 +1,154 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/exp"
+)
+
+// Subprocess shards: with Config.Exec set, every point attempt runs in
+// its own child process (`sweep -farm-worker`), so an engine panic, a
+// runaway allocation or a hard hang is isolated by the operating system
+// instead of the Go runtime. The child rebuilds the named grid from
+// (grid name, options) — the same deterministic construction the parent
+// used — runs exactly one point, and prints a single WorkerResult line;
+// the parent validates the echoed key against its own grid before
+// accepting the digest, so a version-skewed worker binary cannot
+// silently corrupt a manifest.
+
+// WorkerResult is the one JSON line a farm worker prints on stdout.
+type WorkerResult struct {
+	Key     string  `json:"key"`
+	Digest  string  `json:"digest"` // %016x
+	Summary Summary `json:"summary"`
+}
+
+// RunWorker is the body of `sweep -farm-worker`: build the named grid,
+// run point index, print the result line to w. Deliberately no panic
+// recovery — a crash is the supervisor's job to contain, and a nonzero
+// exit with the runtime's stack on stderr is the most honest report.
+func RunWorker(w io.Writer, gridName string, index int, opts exp.Options) error {
+	g, err := Build(gridName, opts)
+	if err != nil {
+		return err
+	}
+	if index < 0 || index >= len(g.Points) {
+		return fmt.Errorf("farm: worker point %d outside grid %s of %d points", index, gridName, len(g.Points))
+	}
+	o := g.Opts
+	o.Parallel = 1
+	res, err := exp.RunPoint(g.Points[index], o)
+	if err != nil {
+		return err
+	}
+	out := WorkerResult{Key: g.Key(index), Digest: fmt.Sprintf("%016x", res.Digest), Summary: summarize(res)}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// runShard executes one attempt in a subprocess, applying the point
+// deadline by killing the child.
+func (cfg Config) runShard(g Grid, idx int) (uint64, Summary, error) {
+	cmd, err := cfg.Exec(g, idx)
+	if err != nil {
+		return 0, Summary{}, err
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		return 0, Summary{}, fmt.Errorf("farm: starting shard for %s: %w", g.Key(idx), err)
+	}
+
+	var timer *time.Timer
+	var timedOut atomic.Bool
+	if cfg.PointTimeout > 0 {
+		timer = time.AfterFunc(cfg.PointTimeout, func() {
+			timedOut.Store(true)
+			_ = cmd.Process.Kill()
+		})
+	}
+	waitErr := cmd.Wait()
+	if timer != nil {
+		timer.Stop()
+	}
+	if timedOut.Load() {
+		return 0, Summary{}, fmt.Errorf("%w after %v (shard killed)", ErrPointTimeout, cfg.PointTimeout)
+	}
+	if waitErr != nil {
+		return 0, Summary{}, fmt.Errorf("farm: shard for %s: %w%s", g.Key(idx), waitErr, stderrTail(&stderr))
+	}
+	return parseWorkerLine(stdout.Bytes(), g.Key(idx), &stderr)
+}
+
+// parseWorkerLine extracts and validates the WorkerResult line: the
+// last stdout line that looks like a JSON object. Scanning for '{'
+// rather than taking the literal last line lets workers share stdout
+// with chatty harnesses (the shard tests re-exec the test binary, whose
+// framework prints PASS after the result).
+func parseWorkerLine(out []byte, wantKey string, stderr *bytes.Buffer) (uint64, Summary, error) {
+	line := lastJSONLine(out)
+	if line == "" {
+		return 0, Summary{}, fmt.Errorf("farm: shard for %s printed no result line%s", wantKey, stderrTail(stderr))
+	}
+	var wr WorkerResult
+	if err := json.Unmarshal([]byte(line), &wr); err != nil {
+		return 0, Summary{}, fmt.Errorf("farm: shard for %s printed malformed result %q: %w", wantKey, line, err)
+	}
+	if wr.Key != wantKey {
+		return 0, Summary{}, fmt.Errorf("farm: shard grid skew: worker ran %s, supervisor asked for %s", wr.Key, wantKey)
+	}
+	d, err := strconv.ParseUint(wr.Digest, 16, 64)
+	if err != nil {
+		return 0, Summary{}, fmt.Errorf("farm: shard for %s printed bad digest %q", wantKey, wr.Digest)
+	}
+	return d, wr.Summary, nil
+}
+
+func lastJSONLine(out []byte) string {
+	lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if s := strings.TrimSpace(lines[i]); strings.HasPrefix(s, "{") {
+			return s
+		}
+	}
+	return ""
+}
+
+// stderrTail renders the last few hundred bytes of a shard's stderr for
+// error messages (where the panic stack's head lives).
+func stderrTail(b *bytes.Buffer) string {
+	s := strings.TrimSpace(b.String())
+	if s == "" {
+		return ""
+	}
+	const max = 600
+	if len(s) > max {
+		s = "..." + s[len(s)-max:]
+	}
+	return "\nshard stderr: " + s
+}
+
+// SelfExec builds a Config.Exec hook that re-invokes the given binary in
+// worker mode: `binary -farm-worker -farm-grid <name> -farm-point <i>
+// [extra...]`. cmd/sweep passes its own executable path plus the flags
+// (seed, quick) that reconstruct the grid options in the child.
+func SelfExec(binary string, extra ...string) func(g Grid, index int) (*exec.Cmd, error) {
+	return func(g Grid, index int) (*exec.Cmd, error) {
+		args := []string{"-farm-worker", "-farm-grid", g.Name, "-farm-point", strconv.Itoa(index)}
+		args = append(args, extra...)
+		return exec.Command(binary, args...), nil
+	}
+}

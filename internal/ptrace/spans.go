@@ -471,27 +471,37 @@ type Attribution struct {
 	Launches, Drops, Circulations int64
 }
 
+// AddSpan folds one span into the aggregate, returning whether it was
+// counted (undelivered, faulted, and — with measuredOnly — warmup/drain
+// spans are skipped). It is the incremental half of Aggregate, so a
+// streaming consumer can attribute latency span-by-span without ever
+// holding the full trace.
+func (a *Attribution) AddSpan(s *PacketSpan, measuredOnly bool) bool {
+	if s.Delivered < 0 || s.Faulted || (measuredOnly && !s.Measured) {
+		return false
+	}
+	a.Spans++
+	if s.Local {
+		a.Local++
+	}
+	for _, p := range s.Phases {
+		a.Phases[p.Kind] += p.Len()
+	}
+	a.Total += s.Latency()
+	a.Setaside += s.Setaside
+	a.Launches += int64(s.Launches)
+	a.Drops += int64(s.Drops)
+	a.Circulations += int64(s.Circulations)
+	return true
+}
+
 // Aggregate sums a trace's delivered, non-faulted spans. With
 // measuredOnly set it covers exactly the population behind the run's
 // latency statistics: packets injected inside the measurement window.
 func Aggregate(tr *TraceResult, measuredOnly bool) Attribution {
 	var a Attribution
 	for _, s := range tr.Spans {
-		if s.Delivered < 0 || s.Faulted || (measuredOnly && !s.Measured) {
-			continue
-		}
-		a.Spans++
-		if s.Local {
-			a.Local++
-		}
-		for _, p := range s.Phases {
-			a.Phases[p.Kind] += p.Len()
-		}
-		a.Total += s.Latency()
-		a.Setaside += s.Setaside
-		a.Launches += int64(s.Launches)
-		a.Drops += int64(s.Drops)
-		a.Circulations += int64(s.Circulations)
+		a.AddSpan(s, measuredOnly)
 	}
 	return a
 }

@@ -1,0 +1,249 @@
+package ptrace
+
+import (
+	"fmt"
+	"sort"
+
+	"photon/internal/core"
+)
+
+// Stream is the windowed counterpart of Tap + Assemble: a core.Tracer
+// that assembles spans while the simulation runs and hands each span to
+// a callback the moment the packet delivers, instead of retaining the
+// whole event stream and the whole span set in memory. Resident state is
+// bounded by the number of packets simultaneously in flight (plus a
+// short tombstone window for post-delivery ACKs), so tracing a long run
+// costs O(live packets), not O(total packets).
+//
+// The assembly grammar is byte-for-byte the one Assemble applies — both
+// drive the same per-packet state machine — so a stream fed a Tap's
+// records flushes exactly the spans Assemble would have built. The check
+// battery pins that equivalence.
+type Stream struct {
+	cfg StreamConfig
+
+	cursors map[uint64]*pktAsm
+	seen    int64 // records accepted
+	last    int64 // last accepted cycle (chronology check)
+
+	flushed int64 // spans handed to OnSpan
+	retired int64 // tombstones swept
+	maxLive int   // peak resident cursor count
+
+	err    error
+	closed bool
+}
+
+// StreamConfig configures a Stream. OnSpan receives every assembled span
+// exactly once: delivered non-faulted spans as they deliver, everything
+// else (undelivered, faulted) at Close in (Injected, ID) order. A nil
+// OnSpan discards spans — useful when only the stream's validation and
+// stats are wanted. OnMeta receives packet-less records (token motion,
+// faults) as they happen; nil discards them. An error from either
+// callback latches and stops the stream.
+type StreamConfig struct {
+	OnSpan func(*PacketSpan) error
+	OnMeta func(Record) error
+
+	// RetireAfter is how many cycles a delivered packet's cursor lingers
+	// as a tombstone so post-delivery ACKs still find it, before the
+	// sweep reclaims it. Zero means the default (1024) — an order of
+	// magnitude beyond a loop trip on the default 64-node ring, yet
+	// small enough that tombstones retire long before a run ends.
+	RetireAfter int64
+	// SweepEvery is how many records pass between tombstone sweeps.
+	// Zero means the default (512).
+	SweepEvery int
+}
+
+const (
+	defaultRetireAfter = 1024
+	defaultSweepEvery  = 512
+)
+
+// NewStream returns a streaming assembler ready to attach with
+// core.Network.SetTracer or to feed via Push.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.RetireAfter <= 0 {
+		cfg.RetireAfter = defaultRetireAfter
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = defaultSweepEvery
+	}
+	return &Stream{cfg: cfg, cursors: make(map[uint64]*pktAsm)}
+}
+
+// Err returns the first error the stream hit (malformed input or a
+// callback failure); once set, further input is ignored.
+func (s *Stream) Err() error { return s.err }
+
+// Flushed returns how many spans have been handed to OnSpan so far.
+func (s *Stream) Flushed() int64 { return s.flushed }
+
+// MaxLive returns the peak number of resident packet cursors — the
+// memory high-water mark the windowed mode exists to bound.
+func (s *Stream) MaxLive() int { return s.maxLive }
+
+// Observe implements core.Tracer with the same value-copy contract as
+// Tap.Observe; assembly errors latch into Err.
+func (s *Stream) Observe(e core.Event) {
+	r := Record{Cycle: e.Cycle, Type: e.Type, Aux: e.Aux, DeliveredAt: -1}
+	if p := e.Packet; p != nil {
+		r.ID = p.ID
+		r.Src, r.Dst = int32(p.Src), int32(p.Dst)
+		r.Measured = p.Measured
+		if e.Type == core.EvDeliver {
+			r.DeliveredAt = p.DeliveredAt
+		}
+	} else {
+		r.Meta = true
+	}
+	_ = s.Push(r)
+}
+
+// Push feeds one record through the assembler. The first error latches:
+// the stream stays safe to push to but drops everything after the fault.
+func (s *Stream) Push(r Record) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		s.err = fmt.Errorf("ptrace: push into closed stream")
+		return s.err
+	}
+	if err := s.push(r); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+func (s *Stream) push(r Record) error {
+	if r.Cycle < 0 {
+		return fmt.Errorf("ptrace: record %d: negative cycle %d", s.seen, r.Cycle)
+	}
+	if r.Cycle < s.last {
+		return fmt.Errorf("ptrace: record %d: cycle %d before cycle %d (stream not chronological)",
+			s.seen, r.Cycle, s.last)
+	}
+	s.last = r.Cycle
+	s.seen++
+	if s.seen%int64(s.cfg.SweepEvery) == 0 {
+		s.sweep()
+	}
+
+	if r.Meta {
+		switch r.Type {
+		case core.EvTokenCapture, core.EvTokenRelease, core.EvTokenRegen, core.EvFault:
+			if s.cfg.OnMeta != nil {
+				if err := s.cfg.OnMeta(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("ptrace: record %d: meta record with packet event type %s", s.seen-1, r.Type)
+		}
+	}
+	switch r.Type {
+	case core.EvTokenCapture, core.EvTokenRelease, core.EvTokenRegen:
+		return fmt.Errorf("ptrace: record %d: packet record with meta event type %s", s.seen-1, r.Type)
+	}
+
+	a := s.cursors[r.ID]
+	if r.Type == core.EvInject {
+		if a != nil {
+			return fmt.Errorf("ptrace: record %d: packet %d injected twice", s.seen-1, r.ID)
+		}
+		span := &PacketSpan{
+			ID: r.ID, Src: int(r.Src), Dst: int(r.Dst),
+			Measured: r.Measured,
+			Injected: r.Cycle, Delivered: -1,
+		}
+		s.cursors[r.ID] = &pktAsm{span: span, state: stInjected, mark: r.Cycle, last: r.Cycle, setasideAt: -1}
+		if n := len(s.cursors); n > s.maxLive {
+			s.maxLive = n
+		}
+		return nil
+	}
+	if a == nil {
+		return fmt.Errorf("ptrace: record %d: %s for packet %d before its injection", s.seen-1, r.Type, r.ID)
+	}
+	if r.Cycle < a.last {
+		return fmt.Errorf("ptrace: record %d: packet %d time runs backwards (%d after %d)",
+			s.seen-1, r.ID, r.Cycle, a.last)
+	}
+	a.last = r.Cycle
+
+	if a.span.Faulted {
+		// Faulted spans keep exact counters but are held until Close:
+		// the recovery grammar can touch them at any point.
+		a.applyFaulted(r)
+		return nil
+	}
+	wasDone := a.state == stDone
+	if err := a.apply(r); err != nil {
+		return fmt.Errorf("ptrace: record %d: %w", s.seen-1, err)
+	}
+	// Delivery completes a non-faulted span: flush it now. The cursor
+	// stays behind as a tombstone so the packet's post-delivery ACK is
+	// still legal; the sweep reclaims it RetireAfter cycles later.
+	if !wasDone && a.state == stDone && !a.span.Faulted {
+		return s.flush(a.span)
+	}
+	return nil
+}
+
+// sweep reclaims tombstones: delivered, already-flushed cursors whose
+// last event is RetireAfter cycles in the past.
+func (s *Stream) sweep() {
+	for id, a := range s.cursors {
+		if a.state == stDone && !a.span.Faulted && s.last-a.last >= s.cfg.RetireAfter {
+			delete(s.cursors, id)
+			s.retired++
+		}
+	}
+}
+
+func (s *Stream) flush(span *PacketSpan) error {
+	s.flushed++
+	if s.cfg.OnSpan == nil {
+		return nil
+	}
+	return s.cfg.OnSpan(span)
+}
+
+// Close flushes every span still resident — undelivered packets with
+// their phase prefix, faulted packets with their counters — in
+// (Injected, ID) order, then drops all state. A latched error makes
+// Close a no-op returning that error.
+func (s *Stream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var rest []*pktAsm
+	for _, a := range s.cursors {
+		if a.state == stDone && !a.span.Faulted {
+			continue // flushed at delivery; cursor was only a tombstone
+		}
+		rest = append(rest, a)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		si, sj := rest[i].span, rest[j].span
+		if si.Injected != sj.Injected {
+			return si.Injected < sj.Injected
+		}
+		return si.ID < sj.ID
+	})
+	for _, a := range rest {
+		if err := s.flush(a.span); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	s.cursors = nil
+	return nil
+}

@@ -1,0 +1,267 @@
+package ptrace
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/sim"
+	"photon/internal/traffic"
+)
+
+var streamWindow = sim.Window{Warmup: 300, Measure: 1200, Drain: 1000}
+
+// tapRun simulates one scheme at one load with a batch Tap armed and
+// returns the run result plus the raw record stream.
+func tapRun(t *testing.T, s core.Scheme, load float64) (core.Result, []Record) {
+	t.Helper()
+	cfg := core.DefaultConfig(s)
+	cfg.Seed = 1
+	net, err := core.NewNetwork(cfg, streamWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(traffic.UniformRandom{}, load, cfg.Nodes, cfg.CoresPerNode, 0x5EED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := Collect(net)
+	res := inj.Run(net)
+	return res, tap.Records
+}
+
+// streamAll pushes records through a fresh Stream and returns the spans
+// and meta records it emitted, plus the stream for its stats.
+func streamAll(t *testing.T, records []Record, cfg StreamConfig) ([]*PacketSpan, []Record, *Stream) {
+	t.Helper()
+	var spans []*PacketSpan
+	var meta []Record
+	userSpan := cfg.OnSpan
+	cfg.OnSpan = func(s *PacketSpan) error {
+		spans = append(spans, s)
+		if userSpan != nil {
+			return userSpan(s)
+		}
+		return nil
+	}
+	cfg.OnMeta = func(r Record) error {
+		meta = append(meta, r)
+		return nil
+	}
+	st := NewStream(cfg)
+	for _, r := range records {
+		if err := st.Push(r); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return spans, meta, st
+}
+
+// TestStreamMatchesBatch pins the headline equivalence: for every
+// registered scheme, feeding a Tap's records through the windowed Stream
+// flushes exactly the spans Assemble builds — same set, same phases,
+// same counters — while the resident cursor count stays far below the
+// total packet population.
+func TestStreamMatchesBatch(t *testing.T) {
+	for _, s := range core.Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			_, records := tapRun(t, s, 0.12)
+			batch, err := Assemble(records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Aggressive retirement exercises the tombstone sweep; 256
+			// cycles still dwarfs a loop trip, so trailing ACKs are safe.
+			spans, meta, st := streamAll(t, records, StreamConfig{
+				RetireAfter: 256, SweepEvery: 64,
+				OnSpan: func(sp *PacketSpan) error { return sp.Validate() },
+			})
+
+			if len(spans) != len(batch.Spans) {
+				t.Fatalf("stream flushed %d spans, batch assembled %d", len(spans), len(batch.Spans))
+			}
+			got := make(map[uint64]*PacketSpan, len(spans))
+			for _, sp := range spans {
+				if got[sp.ID] != nil {
+					t.Fatalf("packet %d flushed twice", sp.ID)
+				}
+				got[sp.ID] = sp
+			}
+			for _, want := range batch.Spans {
+				if !reflect.DeepEqual(got[want.ID], want) {
+					t.Fatalf("packet %d diverged:\n stream %+v\n batch  %+v", want.ID, got[want.ID], want)
+				}
+			}
+			if len(meta) != len(batch.Tokens)+len(batch.Faults) {
+				t.Fatalf("stream forwarded %d meta records, batch kept %d", len(meta), len(batch.Tokens)+len(batch.Faults))
+			}
+
+			// Streaming attribution over measured spans equals the batch
+			// aggregate exactly.
+			var inc Attribution
+			for _, sp := range spans {
+				inc.AddSpan(sp, true)
+			}
+			if inc != Aggregate(batch, true) {
+				t.Fatalf("incremental attribution diverged:\n stream %+v\n batch  %+v", inc, Aggregate(batch, true))
+			}
+
+			if st.Flushed() != int64(len(spans)) {
+				t.Fatalf("Flushed() = %d, emitted %d", st.Flushed(), len(spans))
+			}
+			if st.MaxLive() >= len(spans) {
+				t.Fatalf("MaxLive %d did not bound memory below the %d-span population", st.MaxLive(), len(spans))
+			}
+			t.Logf("%s: %d spans, max %d live (%.1f%%)", s, len(spans), st.MaxLive(),
+				100*float64(st.MaxLive())/float64(len(spans)))
+		})
+	}
+}
+
+// TestStreamAsTracer runs the same deterministic tape twice — once under
+// the batch Tap, once with the Stream attached as the live tracer — and
+// checks both the run digest (tracers are digest-inert) and the
+// attribution agree.
+func TestStreamAsTracer(t *testing.T) {
+	scheme := core.GHS
+	tape0 := core.DefaultConfig(scheme)
+	tape, err := traffic.RecordTape(traffic.UniformRandom{}, 0.12, tape0.Nodes, tape0.CoresPerNode,
+		7, streamWindow.Warmup+streamWindow.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(tr core.Tracer) core.Result {
+		cfg := core.DefaultConfig(scheme)
+		cfg.Seed = 1
+		net, err := core.NewNetwork(cfg, streamWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetTracer(tr)
+		res, err := tape.Run(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Drain(20_000)
+		return res
+	}
+
+	tap := NewTap()
+	resTap := run(tap)
+	batch, err := tap.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var live Attribution
+	st := NewStream(StreamConfig{OnSpan: func(sp *PacketSpan) error {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		live.AddSpan(sp, true)
+		return nil
+	}})
+	resStream := run(st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if resTap.Digest != resStream.Digest {
+		t.Fatalf("stream tracer perturbed the run: digest %016x vs %016x", resStream.Digest, resTap.Digest)
+	}
+	if live != Aggregate(batch, true) {
+		t.Fatalf("live attribution diverged:\n stream %+v\n batch  %+v", live, Aggregate(batch, true))
+	}
+}
+
+// TestStreamCloseFlushesTruncated feeds only a prefix of the stream and
+// checks Close emits the in-flight remainder in (Injected, ID) order,
+// matching the batch assembler on the same prefix.
+func TestStreamCloseFlushesTruncated(t *testing.T) {
+	_, records := tapRun(t, core.DHS, 0.12)
+	half := records[:len(records)/2]
+	batch, err := Assemble(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _, _ := streamAll(t, half, StreamConfig{})
+	if len(spans) != len(batch.Spans) {
+		t.Fatalf("stream emitted %d spans on the prefix, batch %d", len(spans), len(batch.Spans))
+	}
+
+	var undelivered []*PacketSpan
+	for _, sp := range spans {
+		if sp.Delivered < 0 {
+			undelivered = append(undelivered, sp)
+		}
+	}
+	if len(undelivered) == 0 {
+		t.Fatal("truncated prefix left nothing in flight; test is vacuous")
+	}
+	ordered := sort.SliceIsSorted(undelivered, func(i, j int) bool {
+		if undelivered[i].Injected != undelivered[j].Injected {
+			return undelivered[i].Injected < undelivered[j].Injected
+		}
+		return undelivered[i].ID < undelivered[j].ID
+	})
+	if !ordered {
+		t.Fatal("Close did not emit in-flight spans in (Injected, ID) order")
+	}
+}
+
+// TestStreamRejectsMalformed pins the error latch: malformed input stops
+// the stream, later pushes return the same error, Close refuses.
+func TestStreamRejectsMalformed(t *testing.T) {
+	st := NewStream(StreamConfig{})
+	if err := st.Push(Record{Cycle: 5, Type: core.EvEnqueue, ID: 1}); err == nil {
+		t.Fatal("event before injection accepted")
+	}
+	first := st.Err()
+	if err := st.Push(Record{Cycle: 6, Type: core.EvInject, ID: 2}); err != first {
+		t.Fatalf("latched error not sticky: %v vs %v", err, first)
+	}
+	if err := st.Close(); err != first {
+		t.Fatalf("Close ignored the latched error: %v", err)
+	}
+
+	st = NewStream(StreamConfig{})
+	if err := st.Push(Record{Cycle: 10, Type: core.EvInject, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(Record{Cycle: 4, Type: core.EvInject, ID: 2}); err == nil {
+		t.Fatal("non-chronological stream accepted")
+	}
+
+	st = NewStream(StreamConfig{})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(Record{Cycle: 0, Type: core.EvInject, ID: 1}); err == nil {
+		t.Fatal("push into closed stream accepted")
+	}
+}
+
+// TestStreamCallbackErrorLatches pins callback error propagation.
+func TestStreamCallbackErrorLatches(t *testing.T) {
+	_, records := tapRun(t, core.TokenSlot, 0.05)
+	boom := fmt.Errorf("consumer rejected span")
+	st := NewStream(StreamConfig{OnSpan: func(*PacketSpan) error { return boom }})
+	var got error
+	for _, r := range records {
+		if got = st.Push(r); got != nil {
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("no span ever flushed; test is vacuous")
+	}
+	if got.Error() != boom.Error() {
+		t.Fatalf("callback error lost: %v", got)
+	}
+}

@@ -11,6 +11,15 @@
 //	sweep -claims              # up-to-62% throughput / sub-1% drop claims
 //	sweep -fig 8 -quick -csv   # fast grid, CSV output
 //
+// Serving workloads: -workload runs a named preset (bursty, flash,
+// diurnal) or a raw workload spec (see traffic.ParseWorkload for the
+// grammar) under every scheme and reports per-phase p50/p99/p999 latency
+// from exact span attribution:
+//
+//	sweep -workload bursty -quick
+//	sweep -workload "0.5@bernoulli(rate=0.05);0.5@burst(rate=0.3,on=400,off=1200)"
+//	sweep -farm slo -quick     # the preset x scheme grid under the farm
+//
 // Fault-tolerant regeneration: -farm runs a named point grid under the
 // supervised sweep farm — a durable manifest journals every completed
 // point, so a killed run resumes where it left off, and a poison point
@@ -33,22 +42,24 @@ import (
 	"photon/internal/farm"
 	"photon/internal/router"
 	"photon/internal/stats"
+	"photon/internal/traffic"
 	"photon/internal/viz"
 )
 
 func main() {
 	var (
 		fig     = flag.String("fig", "", "figure to regenerate: 2b, 8, 9, 11, 11f")
-		pattern = flag.String("pattern", "UR", "pattern for figures 8/9: UR, BC, TOR")
+		pattern = flag.String("pattern", "UR", "pattern for figures 8/9 and -workload: UR, BC, TOR")
 		claims  = flag.Bool("claims", false, "measure the headline throughput/drop-rate claims on all three patterns")
 		fair    = flag.Bool("fairness", false, "run the §III-D fairness study (service share by ring position)")
 		brk     = flag.Float64("breakdown", 0, "exact per-phase latency attribution at this UR load (legacy averages print as cross-check)")
-		quick   = flag.Bool("quick", false, "reduced load grid and shorter windows")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		plot    = flag.Bool("plot", false, "also render an ASCII chart (latency clipped at 100 cycles, like the paper's axes)")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "reduced load grid and shorter windows")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot     = flag.Bool("plot", false, "also render an ASCII chart (latency clipped at 100 cycles, like the paper's axes)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workload = flag.String("workload", "", "run a preset workload (bursty, flash, diurnal) or raw workload spec under every scheme, reporting per-phase p50/p99/p999")
 
-		farmGridFlag = flag.String("farm", "", "run a named point grid under the supervised sweep farm: "+strings.Join(exp.FigureGridNames(), ", "))
+		farmGridFlag = flag.String("farm", "", "run a named point grid under the supervised sweep farm: "+strings.Join(append(exp.FigureGridNames(), exp.WorkloadGridNames()...), ", "))
 		manifest     = flag.String("manifest", "", "journal farm progress to this file (crash-safe JSONL)")
 		resume       = flag.Bool("resume", false, "resume a farm run from its manifest, skipping completed points")
 		maxAttempts  = flag.Int("max-attempts", 3, "farm: attempts per point before quarantine")
@@ -115,6 +126,16 @@ func main() {
 	}
 
 	switch {
+	case *workload != "":
+		pat, err := traffic.ByName(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		_, t, err := exp.WorkloadSweep(*workload, pat, opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
 	case *brk > 0:
 		// Exact per-packet attribution from the protocol event tap; the
 		// legacy whole-run-average decomposition prints after it as a

@@ -10,12 +10,19 @@
 // determinism under faults, conservation, quiescence, and zero permanent
 // loss, plus the rate-zero inertness and recovery-off stranding legs.
 //
+// With -workloads it runs the workload differential battery: every
+// preset workload (bursty, flash-crowd, phased diurnal) recorded as a
+// tape and verified under every scheme — replay determinism, live
+// tape-faithfulness, and packet conservation audited at every schedule
+// phase boundary.
+//
 // Examples:
 //
 //	verify -quick          # reduced windows, CI-sized battery
 //	verify                 # full battery (longer windows, extra load)
 //	verify -quick -seed 7  # different tape seed
 //	verify -chaos -quick   # fault-injection battery
+//	verify -workloads      # workload differential battery
 //	verify -quick -json    # machine-readable pass/fail summary
 //	verify -bench          # cycles/sec per scheme (perf baseline, no checks)
 //	verify -bench -json    # write the BENCH_core.json format to stdout
@@ -41,6 +48,7 @@ import (
 	"photon/internal/core"
 	"photon/internal/exp"
 	"photon/internal/ptrace"
+	"photon/internal/sim"
 	"photon/internal/stats"
 	"photon/internal/traffic"
 )
@@ -84,6 +92,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "base seed for the traffic tapes")
 		csv       = flag.Bool("csv", false, "emit the per-point table as CSV")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
+		workloads = flag.Bool("workloads", false, "run the workload differential battery instead of the standard one")
 		bench     = flag.Bool("bench", false, "measure cycles/sec per scheme instead of running checks")
 		gate      = flag.Bool("gate", false, "with -bench: fail if any scheme regressed beyond -tolerance vs -baseline")
 		baseline  = flag.String("baseline", "BENCH_core.json", "with -bench -gate: committed baseline report to compare against")
@@ -162,7 +171,30 @@ func main() {
 	)
 	jr.Seed = *seed
 
-	if *chaos {
+	if *workloads {
+		b := check.QuickWorkloadBattery(*seed)
+		if !*quick {
+			// The full variant runs the standard short window with a deeper
+			// post-run drain.
+			b.Window = sim.ShortWindow()
+			b.DrainLimit = 60_000
+		}
+		rep, err := check.RunWorkloads(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		jr.Battery = "workloads"
+		for _, p := range rep.Points {
+			jr.Points = append(jr.Points, jsonPoint{
+				Scheme: p.Scheme.String(),
+				Name:   p.Workload,
+				Digest: fmt.Sprintf("%016x", p.Digest),
+				Status: status(p.Pass(), p.Detail),
+			})
+		}
+		table, cross, pass, fails = rep.Table(), rep.Cross, rep.Pass(), rep.Failures()
+	} else if *chaos {
 		b := check.QuickChaos(*seed)
 		if !*quick {
 			// The full variant widens the rate grid and the window.

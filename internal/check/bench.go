@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"photon/internal/core"
+	"photon/internal/farm"
 	"photon/internal/sim"
 	"photon/internal/traffic"
 )
@@ -103,7 +104,11 @@ func benchScheme(s core.Scheme, cfg BenchConfig, traced bool) (time.Duration, st
 // RunBench measures the cycle engine's throughput for every registered
 // scheme, untraced and with a minimal tap armed. It is a wall-clock
 // measurement, not part of the determinism battery — digests are
-// unaffected by how fast cycles execute.
+// unaffected by how fast cycles execute. Per-scheme measurements run
+// under farm.Do supervision with a single worker: timing stays strictly
+// serial (no co-running scheme perturbs a block), but a panicking
+// benchmark reports itself under its scheme's name instead of killing
+// the whole gate.
 func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	rep := &BenchReport{
 		Seed:      cfg.Seed,
@@ -111,17 +116,20 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 	}
-	for _, s := range core.Schemes() {
+	schemes := core.Schemes()
+	points := make([]BenchPoint, len(schemes))
+	errs := farm.Do(len(schemes), 1, func(i int) error {
+		s := schemes[i]
 		best, family, err := benchScheme(s, cfg, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tracedBest, _, err := benchScheme(s, cfg, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		secs := best.Seconds()
-		rep.Points = append(rep.Points, BenchPoint{
+		points[i] = BenchPoint{
 			Scheme:           s.String(),
 			Family:           family,
 			Cycles:           cfg.Cycles,
@@ -129,8 +137,15 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			CyclesPerSec:     float64(cfg.Cycles) / secs,
 			NsPerCycle:       secs * 1e9 / float64(cfg.Cycles),
 			TracedNsPerCycle: tracedBest.Seconds() * 1e9 / float64(cfg.Cycles),
-		})
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("check: bench %s: %w", schemes[i], err)
+		}
 	}
+	rep.Points = points
 	return rep, nil
 }
 

@@ -23,7 +23,7 @@ func RunTracedPoint(p Point, opts Options) (core.Result, *ptrace.TraceResult, er
 	if err != nil {
 		return core.Result{}, nil, err
 	}
-	inj, err := traffic.NewInjector(p.Pattern, p.Rate, cfg.Nodes, cfg.CoresPerNode, opts.Seed+0x9E37)
+	inj, err := pointInjector(p, cfg, opts)
 	if err != nil {
 		return core.Result{}, nil, err
 	}
@@ -55,7 +55,7 @@ func RunStreamedPoint(p Point, opts Options) (core.Result, ptrace.Attribution, *
 	if err != nil {
 		return core.Result{}, ptrace.Attribution{}, nil, err
 	}
-	inj, err := traffic.NewInjector(p.Pattern, p.Rate, cfg.Nodes, cfg.CoresPerNode, opts.Seed+0x9E37)
+	inj, err := pointInjector(p, cfg, opts)
 	if err != nil {
 		return core.Result{}, ptrace.Attribution{}, nil, err
 	}

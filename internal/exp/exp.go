@@ -56,8 +56,30 @@ type Point struct {
 	Label   string
 	Pattern traffic.Pattern
 	Rate    float64
+	// Workload, when non-empty, is a canonical workload spec (see
+	// traffic.ParseWorkload) that replaces the fixed-rate Bernoulli
+	// injection implied by Rate. Rate is ignored for workload points; the
+	// spec string itself is the point's identity in farm manifest keys.
+	Workload string
 	// Mod customises the configuration (credits, setaside size, ...).
 	Mod func(*core.Config)
+}
+
+// pointInjector builds the injector a point specifies: the legacy
+// fixed-rate Bernoulli path when Workload is empty (bit-identical to the
+// pre-workload injector), the parsed workload otherwise. Both use the
+// same derived seed, so a workload spec of "bernoulli(rate=r)" and a
+// bare Rate r are the same experiment.
+func pointInjector(p Point, cfg core.Config, opts Options) (*traffic.Injector, error) {
+	seed := opts.Seed + 0x9E37
+	if p.Workload == "" {
+		return traffic.NewInjector(p.Pattern, p.Rate, cfg.Nodes, cfg.CoresPerNode, seed)
+	}
+	w, err := traffic.ParseWorkload(p.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewWorkloadInjector(w, p.Pattern, cfg.Nodes, cfg.CoresPerNode, seed)
 }
 
 // RunPoint simulates one point and returns its result.
@@ -71,7 +93,7 @@ func RunPoint(p Point, opts Options) (core.Result, error) {
 	if err != nil {
 		return core.Result{}, err
 	}
-	inj, err := traffic.NewInjector(p.Pattern, p.Rate, cfg.Nodes, cfg.CoresPerNode, opts.Seed+0x9E37)
+	inj, err := pointInjector(p, cfg, opts)
 	if err != nil {
 		return core.Result{}, err
 	}

@@ -112,6 +112,11 @@ func FigurePoints(name string, opts Options) ([]Point, error) {
 		return points, nil
 	case name == "fig11f":
 		return fig11fPoints(), nil
+	case name == "slo":
+		// Workload grid, registered alongside the figure grids but not
+		// folded into "figures": the union below is the paper's pinned
+		// regeneration workload and must not change shape.
+		return workloadGridPoints(), nil
 	case name == "figures":
 		var points []Point
 		for _, n := range FigureGridNames() {
@@ -126,7 +131,7 @@ func FigurePoints(name string, opts Options) ([]Point, error) {
 		}
 		return points, nil
 	default:
-		known := FigureGridNames()
+		known := append(FigureGridNames(), WorkloadGridNames()...)
 		sort.Strings(known)
 		return nil, fmt.Errorf("exp: unknown grid %q (known: %s)", name, strings.Join(known, ", "))
 	}

@@ -29,17 +29,21 @@ func Build(name string, opts exp.Options) (Grid, error) {
 	return Grid{Name: name, Points: points, Opts: opts}, nil
 }
 
-// Key returns point i's manifest key: index, scheme, pattern, rate and
-// (when set) the series label. Two points that differ only in their Mod
-// closure — which cannot be serialised — are still distinguished by
-// index, which is why resuming validates the whole-grid Fingerprint
-// rather than trusting keys alone.
+// Key returns point i's manifest key: index, scheme, pattern, rate,
+// (when set) the series label, and (when set) the canonical workload
+// spec. Two points that differ only in their Mod closure — which cannot
+// be serialised — are still distinguished by index, which is why
+// resuming validates the whole-grid Fingerprint rather than trusting
+// keys alone.
 func (g Grid) Key(i int) string {
 	p := g.Points[i]
 	key := fmt.Sprintf("%04d:%s/%s@%s", i, p.Scheme, p.Pattern.Name(),
 		strconv.FormatFloat(p.Rate, 'g', -1, 64))
 	if p.Label != "" {
 		key += "#" + p.Label
+	}
+	if p.Workload != "" {
+		key += "~" + p.Workload
 	}
 	return key
 }

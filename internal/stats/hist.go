@@ -100,6 +100,16 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.capValue + 1
 }
 
+// P50 returns the median observation — sugar for Quantile(0.5).
+func (h *Histogram) P50() int64 { return h.Quantile(0.5) }
+
+// P99 returns the 99th-percentile observation — sugar for Quantile(0.99).
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th-percentile observation — the deep-tail SLO
+// quantile of the workload reports; sugar for Quantile(0.999).
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
 // Merge folds other into h (used when aggregating per-channel histograms).
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil {

@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"photon/internal/sim"
+)
+
+// ClientMap models the client side of a serving workload: N logical
+// clients (think millions of users) hashed onto the cores that inject on
+// their behalf. A uniform hash reproduces per-core homogeneity, so the
+// interesting knob is the hot cohort: a fraction Hot of the clients is
+// pinned onto HotCores cores (chosen by a seeded permutation, not always
+// cores 0..k, so hotspot position interacts honestly with ring geometry).
+//
+// The map resolves to one weight per core — that core's share of the
+// client population relative to a uniform spread, averaging 1 across
+// cores — and arrival processes scale their per-core rate by it. A core
+// hosting 3x its fair share of clients injects at 3x the nominal rate
+// (clamped at 1 packet/cycle by the Bernoulli draw). Hashing is fully
+// deterministic in (spec, seed, cores): tapes, replays and differential
+// runs all see the same skew.
+type ClientMap struct {
+	N        int64   // logical client population
+	Hot      float64 // fraction of clients in the hot cohort
+	HotCores int     // cores the hot cohort is pinned onto
+}
+
+// maxClients bounds the hashed population (64M hashes resolve in well
+// under a second; a fuzzed spec must not demand more).
+const maxClients = 1 << 26
+
+// Validate rejects malformed client maps.
+func (cm *ClientMap) Validate() error {
+	if cm.N < 1 || cm.N > maxClients {
+		return fmt.Errorf("traffic: client population %d outside [1,%d]", cm.N, maxClients)
+	}
+	if math.IsNaN(cm.Hot) || cm.Hot < 0 || cm.Hot > 1 {
+		return fmt.Errorf("traffic: hot-client fraction %g outside [0,1]", cm.Hot)
+	}
+	if cm.HotCores < 0 || cm.HotCores > 1<<20 {
+		return fmt.Errorf("traffic: hot core count %d outside [0,%d]", cm.HotCores, 1<<20)
+	}
+	if cm.Hot > 0 && cm.HotCores < 1 {
+		return fmt.Errorf("traffic: hot fraction %g needs at least one hot core", cm.Hot)
+	}
+	return nil
+}
+
+// String renders the canonical spec form.
+func (cm *ClientMap) String() string {
+	return fmt.Sprintf("clients(n=%d,hot=%g,cores=%d)", cm.N, cm.Hot, cm.HotCores)
+}
+
+// clientStream is the DeriveSeed stream id reserved for client hashing,
+// so the map's randomness never aliases the per-core injection streams.
+const clientStream = 0xC11E57
+
+// Weights hashes the client population onto cores and returns the
+// per-core rate multipliers (mean exactly 1 over cores with uniform
+// residue handling; a zero-client core gets weight 0). HotCores is
+// clamped to the actual core count.
+func (cm *ClientMap) Weights(cores int, seed uint64) []float64 {
+	counts := make([]int64, cores)
+	hotCores := cm.HotCores
+	if hotCores > cores {
+		hotCores = cores
+	}
+	rng := sim.NewRNG(sim.DeriveSeed(seed, clientStream))
+	hot := rng.Perm(cores)[:hotCores]
+	for i := int64(0); i < cm.N; i++ {
+		h := sim.DeriveSeed(seed^0xC11E, uint64(i))
+		// Top 53 bits as a uniform [0,1) variate decide cohort
+		// membership (the same mapping sim.RNG.Float64 uses).
+		if hotCores > 0 && float64(h>>11)/(1<<53) < cm.Hot {
+			counts[hot[sim.DeriveSeed(h, 1)%uint64(hotCores)]]++
+		} else {
+			counts[int(sim.DeriveSeed(h, 2)%uint64(cores))]++
+		}
+	}
+	fair := float64(cm.N) / float64(cores)
+	weights := make([]float64, cores)
+	for c, n := range counts {
+		weights[c] = float64(n) / fair
+	}
+	return weights
+}

@@ -9,28 +9,60 @@ import (
 	"photon/internal/sim"
 )
 
-// Injector drives a network with Bernoulli arrivals: every cycle, every
-// core independently injects a packet with probability Rate (the paper's
-// load axis, packets/cycle/core). Each core owns a private RNG stream so
-// results are reproducible and insensitive to core iteration order; the
-// streams live in one contiguous slice because generate touches every one
-// of them every cycle.
+// Injector drives a network with an open-loop Workload: every cycle, the
+// active schedule segment's arrival process draws "packets this cycle"
+// for each core, and each drawn packet's destination comes from the
+// Pattern. The legacy constructor wraps a fixed-rate Bernoulli workload
+// — the paper's traffic model — and is bit-identical to the pre-workload
+// injector (TestWorkloadBernoulliCompat).
+//
+// Each core owns a private RNG stream so results are reproducible and
+// insensitive to core iteration order; the streams live in one contiguous
+// slice because generate touches every one of them every cycle.
 type Injector struct {
 	pattern      Pattern
-	rate         float64
+	workload     *Workload
 	nodes        int
 	coresPerNode int
 	rngs         []sim.RNG
-	stopped      bool
+	// weights is the resolved per-core ClientMap skew (nil = uniform; the
+	// nil fast path keeps the legacy Bernoulli stream bit-identical).
+	weights []float64
+	stopped bool
+
+	// Schedule state, resolved by Prepare against the injection span.
+	bound    bool
+	span     int64
+	cursor   int64 // next injection cycle, 0-based
+	seg      int   // active segment index
+	segStart []int64
+	segEnd   []int64
+	arrivals []Arrival
 }
 
-// NewInjector builds an injector for the given pattern and per-core rate.
-// All parameters are validated so that malformed sweep points fail fast
-// with an error here instead of panicking mid-run (the caps mirror
-// core.Config.Validate's structural limits).
+// NewInjector builds the legacy fixed-rate Bernoulli injector for the
+// given pattern and per-core rate — a single full-span Bernoulli segment
+// routed through the Workload layer. All parameters are validated so that
+// malformed sweep points fail fast with an error here instead of
+// panicking mid-run (the caps mirror core.Config.Validate's structural
+// limits).
 func NewInjector(pattern Pattern, rate float64, nodes, coresPerNode int, seed uint64) (*Injector, error) {
 	if math.IsNaN(rate) || rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("traffic: rate %g outside [0,1] packets/cycle/core", rate)
+	}
+	return NewWorkloadInjector(Bernoulli(rate), pattern, nodes, coresPerNode, seed)
+}
+
+// NewWorkloadInjector builds an injector driving the given workload's
+// phased schedule. The workload is not mutated and may be shared across
+// injectors; all per-run state (arrival regimes, schedule cursor) lives
+// in the injector.
+func NewWorkloadInjector(w *Workload, pattern Pattern, nodes, coresPerNode int, seed uint64) (*Injector, error) {
+	if w == nil {
+		return nil, fmt.Errorf("traffic: nil workload")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
 	if pattern == nil {
 		return nil, fmt.Errorf("traffic: nil pattern")
@@ -49,17 +81,34 @@ func NewInjector(pattern Pattern, rate float64, nodes, coresPerNode int, seed ui
 	for i := range rngs {
 		rngs[i] = *root.Fork(uint64(i))
 	}
-	return &Injector{
+	in := &Injector{
 		pattern:      pattern,
-		rate:         rate,
+		workload:     w,
 		nodes:        nodes,
 		coresPerNode: coresPerNode,
 		rngs:         rngs,
-	}, nil
+	}
+	if w.Clients != nil {
+		in.weights = w.Clients.Weights(cores, seed)
+	}
+	return in, nil
 }
 
-// Rate returns the configured per-core injection rate.
-func (in *Injector) Rate() float64 { return in.rate }
+// Workload returns the injector's workload description.
+func (in *Injector) Workload() *Workload { return in.workload }
+
+// Rate returns the workload's expected mean injection rate in
+// packets/cycle/core: the configured rate for the legacy Bernoulli
+// injector, the span-weighted schedule mean otherwise. Before the
+// schedule is bound to a span, fractional segments are weighted by their
+// fractions alone.
+func (in *Injector) Rate() float64 {
+	span := in.span
+	if !in.bound {
+		span = 1 << 20 // nominal span: fixed-cycle segments are tiny against it
+	}
+	return in.workload.MeanRate(span)
+}
 
 // Pattern returns the destination pattern.
 func (in *Injector) Pattern() Pattern { return in.pattern }
@@ -67,11 +116,49 @@ func (in *Injector) Pattern() Pattern { return in.pattern }
 // Stop halts further injection (used during the drain phase).
 func (in *Injector) Stop() { in.stopped = true }
 
+// Prepare resolves the phased schedule against an injection span of the
+// given length (cycles of Tick the run will perform) and instantiates
+// per-segment arrival state. Run, Tick and tape recording call it
+// automatically; call it directly only to read Boundaries before
+// driving the network manually. Preparing an already-bound injector is a
+// no-op, so a Run after an explicit Prepare keeps the resolved schedule.
+func (in *Injector) Prepare(span int64) {
+	if in.bound {
+		return
+	}
+	in.bound = true
+	in.span = span
+	in.segEnd = in.workload.Resolve(span)
+	in.segStart = make([]int64, len(in.segEnd))
+	in.arrivals = make([]Arrival, len(in.segEnd))
+	at := int64(0)
+	for i, end := range in.segEnd {
+		in.segStart[i] = at
+		in.arrivals[i] = in.workload.Segments[i].Proc.New(len(in.rngs), end-at)
+		at = end
+	}
+}
+
+// Boundaries returns the resolved exclusive end cycle of each schedule
+// segment (the conservation battery audits the network at each). Valid
+// after Prepare.
+func (in *Injector) Boundaries() []int64 {
+	if !in.bound {
+		return nil
+	}
+	return in.segEnd
+}
+
 // Tick performs one cycle of injections into net. Call it immediately
-// before net.Step().
+// before net.Step(). The first Tick binds the schedule to the network's
+// injection span (warmup+measure).
 func (in *Injector) Tick(net *core.Network) {
 	if in.stopped {
 		return
+	}
+	if !in.bound {
+		w := net.Window()
+		in.Prepare(w.Warmup + w.Measure)
 	}
 	in.generate(func(c, dst int) {
 		net.Inject(c, dst, router.ClassData, 0)
@@ -81,21 +168,36 @@ func (in *Injector) Tick(net *core.Network) {
 // generate draws one cycle's injections and hands each (core, dst) pair to
 // emit. It is the single source of injection randomness, shared by Tick
 // and by tape recording (tape.go), so a recorded tape is bit-identical to
-// what the live injector would have produced.
+// what the live injector would have produced. The draw loop is
+// allocation-free (TestGenerateZeroAlloc): arrival state is preallocated
+// by Prepare and the per-cycle work is pure arithmetic on it.
 func (in *Injector) generate(emit func(core, dst int)) {
+	for in.seg < len(in.segEnd)-1 && in.cursor >= in.segEnd[in.seg] {
+		in.seg++
+	}
+	a := in.arrivals[in.seg]
+	t := in.cursor - in.segStart[in.seg]
+	in.cursor++
 	for c := range in.rngs {
 		rng := &in.rngs[c]
-		if !rng.Bernoulli(in.rate) {
-			continue
+		w := 1.0
+		if in.weights != nil {
+			w = in.weights[c]
 		}
-		src := c / in.coresPerNode
-		emit(c, in.pattern.Dest(src, in.nodes, rng))
+		for n := a.Draw(c, t, w, rng); n > 0; n-- {
+			src := c / in.coresPerNode
+			emit(c, in.pattern.Dest(src, in.nodes, rng))
+		}
 	}
 }
 
 // Run drives net through its full window (warmup+measure with injection,
-// then drain without) and returns the result. This is the standard
-// open-loop evaluation loop used by every synthetic-workload experiment.
+// then drain without) and returns the result. This is the open-loop
+// synthetic evaluation loop used by every synthetic-workload experiment:
+// arrivals are drawn from the configured schedule regardless of network
+// state, so offered load never self-throttles (contrast the closed-loop
+// CMP study, where MSHR-limited cores stall on outstanding misses — see
+// DESIGN.md "Open-loop vs closed-loop").
 func (in *Injector) Run(net *core.Network) core.Result {
 	w := net.Window()
 	for cyc := int64(0); cyc < w.Warmup+w.Measure; cyc++ {

@@ -8,22 +8,30 @@ import (
 )
 
 // A Tape is a pre-generated injection schedule: the exact (cycle, core,
-// destination) sequence a Bernoulli injector would produce for one
-// (pattern, rate, seed) triple. Tapes make traffic a first-class value
-// that can be replayed, unchanged, through networks running *different*
-// schemes — the basis of the differential tests in internal/check, which
-// must prove that two schemes saw byte-identical offered traffic before
-// comparing their packet accounting.
+// destination) sequence an injector would produce for one
+// (workload, pattern, seed) triple. Tapes make traffic a first-class
+// value that can be replayed, unchanged, through networks running
+// *different* schemes — the basis of the differential tests in
+// internal/check, which must prove that two schemes saw byte-identical
+// offered traffic before comparing their packet accounting.
 //
 // Because RecordTape and Injector.Tick share one generation routine
 // (Injector.generate), replaying a tape through a network is
 // bit-equivalent to driving it live with the injector it was recorded
-// from; TestTapeMatchesInjector pins that equivalence.
+// from; TestTapeMatchesInjector pins that equivalence. Generalized
+// workloads (phased schedules, bursty/flash arrivals, client skew)
+// record exactly the same way: the tape captures the realized draw
+// sequence, so replay needs no workload state at all.
 type Tape struct {
 	// Pattern/Rate/Seed identify the generator the tape was recorded from.
 	Pattern string
 	Rate    float64
 	Seed    uint64
+
+	// Workload is the canonical workload spec the tape was recorded from
+	// (a single bernoulli(rate=...) phase for legacy tapes).
+	// Informational: replay never re-evaluates it.
+	Workload string
 
 	// Nodes/CoresPerNode fix the geometry the entries are valid for.
 	Nodes        int
@@ -44,23 +52,42 @@ type TapeEntry struct {
 }
 
 // RecordTape pre-generates cycles worth of injections for the given
-// pattern, per-core rate and seed.
+// pattern, per-core Bernoulli rate and seed.
 func RecordTape(pattern Pattern, rate float64, nodes, coresPerNode int, seed uint64, cycles int64) (*Tape, error) {
-	if cycles < 0 {
-		return nil, fmt.Errorf("traffic: negative tape length %d", cycles)
-	}
 	in, err := NewInjector(pattern, rate, nodes, coresPerNode, seed)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tape{
-		Pattern:      pattern.Name(),
-		Rate:         rate,
-		Seed:         seed,
-		Nodes:        nodes,
-		CoresPerNode: coresPerNode,
-		Cycles:       cycles,
+	return record(in, seed, cycles)
+}
+
+// RecordWorkloadTape pre-generates cycles worth of injections for a
+// generalized workload. The schedule is bound to the recorded horizon, so
+// a tape replayed through a window whose injection span equals cycles is
+// bit-identical to driving that window live.
+func RecordWorkloadTape(w *Workload, pattern Pattern, nodes, coresPerNode int, seed uint64, cycles int64) (*Tape, error) {
+	in, err := NewWorkloadInjector(w, pattern, nodes, coresPerNode, seed)
+	if err != nil {
+		return nil, err
 	}
+	return record(in, seed, cycles)
+}
+
+// record drains the injector's generator into a tape.
+func record(in *Injector, seed uint64, cycles int64) (*Tape, error) {
+	if cycles < 0 {
+		return nil, fmt.Errorf("traffic: negative tape length %d", cycles)
+	}
+	t := &Tape{
+		Pattern:      in.pattern.Name(),
+		Rate:         in.Rate(),
+		Seed:         seed,
+		Nodes:        in.nodes,
+		CoresPerNode: in.coresPerNode,
+		Cycles:       cycles,
+		Workload:     in.workload.String(),
+	}
+	in.Prepare(cycles)
 	for cyc := int64(0); cyc < cycles; cyc++ {
 		c := cyc
 		in.generate(func(core, dst int) {

@@ -52,7 +52,7 @@ func main() {
 		pattern = flag.String("pattern", "UR", "pattern for figures 8/9 and -workload: UR, BC, TOR")
 		claims  = flag.Bool("claims", false, "measure the headline throughput/drop-rate claims on all three patterns")
 		fair    = flag.Bool("fairness", false, "run the §III-D fairness study (service share by ring position)")
-		brk     = flag.Float64("breakdown", 0, "exact per-phase latency attribution at this UR load (legacy averages print as cross-check)")
+		brk     = flag.Float64("breakdown", 0, "exact per-phase latency attribution at this UR load (legacy averages and the analytical twin's prediction print as cross-checks)")
 		quick    = flag.Bool("quick", false, "reduced load grid and shorter windows")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		plot     = flag.Bool("plot", false, "also render an ASCII chart (latency clipped at 100 cycles, like the paper's axes)")

@@ -16,6 +16,12 @@
 // tape-faithfulness, and packet conservation audited at every schedule
 // phase boundary.
 //
+// With -twin it runs the analytical-twin differential: internal/twin's
+// closed-form per-phase predictions compared against the exact span
+// attribution for every scheme at utilization 0.2/0.35/0.5 of each
+// scheme's twin-estimated saturation rate, within a max(10%, 0.75 cycle)
+// band, plus model-side divergence and capacity-inversion cross checks.
+//
 // Examples:
 //
 //	verify -quick          # reduced windows, CI-sized battery
@@ -23,6 +29,7 @@
 //	verify -quick -seed 7  # different tape seed
 //	verify -chaos -quick   # fault-injection battery
 //	verify -workloads      # workload differential battery
+//	verify -twin -quick    # analytical twin vs exact spans differential
 //	verify -quick -json    # machine-readable pass/fail summary
 //	verify -bench          # cycles/sec per scheme (perf baseline, no checks)
 //	verify -bench -json    # write the BENCH_core.json format to stdout
@@ -93,6 +100,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit the per-point table as CSV")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection battery instead of the standard one")
 		workloads = flag.Bool("workloads", false, "run the workload differential battery instead of the standard one")
+		twinDiff  = flag.Bool("twin", false, "run the analytical-twin-vs-exact-spans differential battery instead of the standard one")
 		bench     = flag.Bool("bench", false, "measure cycles/sec per scheme instead of running checks")
 		gate      = flag.Bool("gate", false, "with -bench: fail if any scheme regressed beyond -tolerance vs -baseline")
 		baseline  = flag.String("baseline", "BENCH_core.json", "with -bench -gate: committed baseline report to compare against")
@@ -171,7 +179,27 @@ func main() {
 	)
 	jr.Seed = *seed
 
-	if *workloads {
+	if *twinDiff {
+		b := check.QuickTwinBattery(*seed)
+		if !*quick {
+			b = check.FullTwinBattery(*seed)
+		}
+		rep, err := check.RunTwin(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		jr.Battery = "twin"
+		for _, p := range rep.Points {
+			jr.Points = append(jr.Points, jsonPoint{
+				Scheme: p.Scheme.String(),
+				Name:   fmt.Sprintf("U=%.2f@%.4f", p.Utilization, p.Rate),
+				Digest: fmt.Sprintf("%016x", p.Obs.Result.Digest),
+				Status: status(p.Pass(), p.Detail),
+			})
+		}
+		table, cross, pass, fails = rep.Table(), rep.Cross, rep.Pass(), rep.Failures()
+	} else if *workloads {
 		b := check.QuickWorkloadBattery(*seed)
 		if !*quick {
 			// The full variant runs the standard short window with a deeper

@@ -110,21 +110,28 @@ func benchScheme(s core.Scheme, cfg BenchConfig, traced bool) (time.Duration, st
 // benchmark reports itself under its scheme's name instead of killing
 // the whole gate.
 func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	return runBenchWith(cfg, core.Schemes(), benchScheme)
+}
+
+// runBenchWith is RunBench with the per-scheme measurement injectable,
+// so tests can prove the supervision contract: a measurement that
+// panics must surface as an error naming its scheme, not kill the gate.
+func runBenchWith(cfg BenchConfig, schemes []core.Scheme,
+	bench func(core.Scheme, BenchConfig, bool) (time.Duration, string, error)) (*BenchReport, error) {
 	rep := &BenchReport{
 		Seed:      cfg.Seed,
 		Load:      cfg.Load,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 	}
-	schemes := core.Schemes()
 	points := make([]BenchPoint, len(schemes))
 	errs := farm.Do(len(schemes), 1, func(i int) error {
 		s := schemes[i]
-		best, family, err := benchScheme(s, cfg, false)
+		best, family, err := bench(s, cfg, false)
 		if err != nil {
 			return err
 		}
-		tracedBest, _, err := benchScheme(s, cfg, true)
+		tracedBest, _, err := bench(s, cfg, true)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"photon/internal/core"
+	"photon/internal/exp"
 	"photon/internal/farm"
 	"photon/internal/fault"
 	"photon/internal/sim"
@@ -150,6 +151,34 @@ func goldenChaosPoints(t *testing.T, seed uint64) []goldenPoint {
 	return points
 }
 
+// goldenSLOPoints reproduces the per-point digests of the "slo" workload
+// grid (every preset workload under every scheme) exactly as
+// `sweep -farm slo -quick` runs them: quick options, the grid's own
+// deterministic order, the preset name as the case key.
+func goldenSLOPoints(t *testing.T, seed uint64) []goldenPoint {
+	t.Helper()
+	opts := exp.QuickOptions()
+	opts.Seed = seed
+	grid, err := exp.FigurePoints("slo", opts)
+	if err != nil {
+		t.Fatalf("building slo grid: %v", err)
+	}
+	points := make([]goldenPoint, len(grid))
+	runGoldenJobs(t, len(grid), func(i int) error {
+		res, err := exp.RunPoint(grid[i], opts)
+		if err != nil {
+			return err
+		}
+		points[i] = goldenPoint{
+			Scheme: grid[i].Scheme.String(),
+			Case:   grid[i].Label,
+			Digest: fmt.Sprintf("%016x", res.Digest),
+		}
+		return nil
+	})
+	return points
+}
+
 // runGoldenJobs fans n independent point runs over the farm's supervised
 // pool (GOMAXPROCS workers, panics contained into error slots).
 func runGoldenJobs(t *testing.T, n int, run func(i int) error) {
@@ -224,4 +253,16 @@ func TestGoldenChaosDigests(t *testing.T) {
 		t.Skip("chaos golden sweep skipped in -short mode")
 	}
 	checkGolden(t, "golden_chaos.json", goldenChaosPoints(t, 1))
+}
+
+// TestGoldenSLODigests pins every (scheme, preset workload) digest of the
+// "slo" grid — the workload grid PR 9 registered outside the pinned
+// figures union. Non-stationary arrival schedules (burst phase cuts,
+// flash plateaus, diurnal ramps) are cycle-exact, so any drift in the
+// workload layer's phase arithmetic fails here.
+func TestGoldenSLODigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slo golden sweep skipped in -short mode")
+	}
+	checkGolden(t, "golden_slo.json", goldenSLOPoints(t, 1))
 }

@@ -7,6 +7,7 @@ import (
 	"photon/internal/ptrace"
 	"photon/internal/stats"
 	"photon/internal/traffic"
+	"photon/internal/twin"
 )
 
 // RunTracedPoint simulates one point with a protocol event tap armed and
@@ -98,10 +99,31 @@ type ExactBreakdownRow struct {
 	Result core.Result
 }
 
+// ExactBreakdownPoint measures one scheme's exact latency attribution
+// under UR at the given load — the single-point unit ExactBreakdown and
+// the twin differential battery (check.RunTwin) share.
+func ExactBreakdownPoint(s core.Scheme, load float64, opts Options) (ExactBreakdownRow, error) {
+	res, tr, err := RunTracedPoint(Point{Scheme: s, Pattern: traffic.UniformRandom{}, Rate: load}, opts)
+	if err != nil {
+		return ExactBreakdownRow{}, err
+	}
+	attr := ptrace.Aggregate(tr, true)
+	row := ExactBreakdownRow{Scheme: s, Attr: attr, Result: res, Total: attr.AvgTotal()}
+	if attr.Spans > 0 {
+		for k := 0; k < ptrace.NumPhases; k++ {
+			row.Phases[k] = attr.AvgPhase(ptrace.PhaseKind(k))
+		}
+		row.Setaside = float64(attr.Setaside) / float64(attr.Spans)
+	}
+	return row, nil
+}
+
 // ExactBreakdown measures the exact latency attribution of every scheme
-// under UR at the given load. Points run serially: an armed tap holds
-// the whole event stream in memory, so trading wall-clock for a bounded
-// footprint is the right default here.
+// under UR at the given load, with the analytical twin's predicted mean
+// and utilization alongside for an at-a-glance model-vs-measurement
+// check. Points run serially: an armed tap holds the whole event stream
+// in memory, so trading wall-clock for a bounded footprint is the right
+// default here.
 func ExactBreakdown(load float64, opts Options) ([]ExactBreakdownRow, *stats.Table, error) {
 	if load <= 0 {
 		load = 0.05
@@ -109,22 +131,23 @@ func ExactBreakdown(load float64, opts Options) ([]ExactBreakdownRow, *stats.Tab
 	t := stats.NewTable(
 		fmt.Sprintf("Exact latency attribution (cycles) at UR %.2f pkt/cycle/core", load),
 		"scheme", "pipeline", "queue", "token-wait", "flight", "hs-wait",
-		"retx-wait", "circulation", "eject", "total", "(setaside)")
+		"retx-wait", "circulation", "eject", "total", "(setaside)", "twin-mean", "twin-util")
 	var rows []ExactBreakdownRow
 	for _, s := range core.Schemes() {
-		res, tr, err := RunTracedPoint(Point{Scheme: s, Pattern: traffic.UniformRandom{}, Rate: load}, opts)
+		row, err := ExactBreakdownPoint(s, load, opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		attr := ptrace.Aggregate(tr, true)
-		row := ExactBreakdownRow{Scheme: s, Attr: attr, Result: res, Total: attr.AvgTotal()}
-		if attr.Spans > 0 {
-			for k := 0; k < ptrace.NumPhases; k++ {
-				row.Phases[k] = attr.AvgPhase(ptrace.PhaseKind(k))
-			}
-			row.Setaside = float64(attr.Setaside) / float64(attr.Spans)
-		}
 		rows = append(rows, row)
+		twinMean, twinUtil := "-", "-"
+		if model, err := twin.NewDefault(s); err == nil {
+			p := model.Predict(load)
+			twinMean = fmt.Sprintf("%.1f", p.Mean)
+			if p.Diverged {
+				twinMean += "*" // outside the validity envelope: extrapolation
+			}
+			twinUtil = fmt.Sprintf("%.2f", p.Utilization)
+		}
 		t.AddRow(s.PaperName(),
 			fmt.Sprintf("%.1f", row.Phases[ptrace.PhasePipeline]),
 			fmt.Sprintf("%.1f", row.Phases[ptrace.PhaseQueue]),
@@ -135,7 +158,8 @@ func ExactBreakdown(load float64, opts Options) ([]ExactBreakdownRow, *stats.Tab
 			fmt.Sprintf("%.1f", row.Phases[ptrace.PhaseCirculation]),
 			fmt.Sprintf("%.1f", row.Phases[ptrace.PhaseEject]),
 			fmt.Sprintf("%.1f", row.Total),
-			fmt.Sprintf("%.1f", row.Setaside))
+			fmt.Sprintf("%.1f", row.Setaside),
+			twinMean, twinUtil)
 	}
 	return rows, t, nil
 }

@@ -1,0 +1,238 @@
+package twin
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"photon/internal/core"
+	"photon/internal/ptrace"
+)
+
+// TestEverySchemeHasAModel: the registry-to-family classification must
+// cover every registered scheme — a new protocol either maps onto an
+// existing analytical family by its traits or this fails until a model
+// is added.
+func TestEverySchemeHasAModel(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatalf("NewDefault(%s): %v", s, err)
+		}
+		if m.Family() == "" || strings.Contains(m.Family(), "?") {
+			t.Errorf("%s: unnamed family %q", s, m.Family())
+		}
+		if sat := m.SaturationRate(); sat <= 0 || sat >= 1 {
+			t.Errorf("%s: saturation rate %.4f outside (0, 1)", s, sat)
+		}
+		if zl := m.ZeroLoadLatency(); zl <= 0 {
+			t.Errorf("%s: zero-load latency %.2f not positive", s, zl)
+		}
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := core.DefaultConfig(core.DHS)
+	cfg.Nodes = 0
+	if _, err := New(core.DHS, cfg); err == nil {
+		t.Fatal("New accepted a config with zero nodes")
+	}
+}
+
+// TestMeanMonotoneInLoad: predicted mean latency must be nondecreasing
+// in offered load over the whole pre-saturation range — queueing can
+// only hurt. (Individual phases need not be monotone: hold-head slot
+// token wait genuinely falls with load; the composition must not.)
+func TestMeanMonotoneInLoad(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for i := 0; i <= 90; i++ {
+			rate := float64(i) / 100 * m.SaturationRate()
+			mean := m.Predict(rate).Mean
+			if mean < prev-1e-9 {
+				t.Errorf("%s: mean fell from %.4f to %.4f at rate %.5f", s, prev, mean, rate)
+			}
+			prev = mean
+		}
+	}
+}
+
+// TestZeroLoadConvergence: as rate → 0 the prediction must converge to
+// the zero-load pipeline latency — pipeline + zero-load token wait +
+// mean flight + eject, with every queueing term vanishing.
+func TestZeroLoadConvergence(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Predict(1e-12)
+		if math.Abs(p.Mean-m.ZeroLoadLatency()) > 1e-6 {
+			t.Errorf("%s: Predict(1e-12).Mean = %.6f, ZeroLoadLatency = %.6f", s, p.Mean, m.ZeroLoadLatency())
+		}
+		if p.Phases[ptrace.PhaseQueue] > 1e-6 {
+			t.Errorf("%s: queue wait %.6f at vanishing load", s, p.Phases[ptrace.PhaseQueue])
+		}
+		cfg := core.DefaultConfig(s)
+		if got := p.Phases[ptrace.PhasePipeline]; got != float64(cfg.RouterPipeline) {
+			t.Errorf("%s: pipeline %.2f != RouterPipeline %d", s, got, cfg.RouterPipeline)
+		}
+		if got := p.Phases[ptrace.PhaseEject]; got != float64(cfg.EjectLatency) {
+			t.Errorf("%s: eject %.2f != EjectLatency %d", s, got, cfg.EjectLatency)
+		}
+	}
+}
+
+// TestDivergesBeforeSaturation: the self-reported divergence flag must
+// trip strictly before utilization 1.0 — the planner's guarantee that it
+// never trusts a closed form at the knee — and must not trip inside the
+// validated envelope (utilization <= 0.5).
+func TestDivergesBeforeSaturation(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := m.Predict(0.5 * m.SaturationRate()); p.Diverged {
+			t.Errorf("%s: diverged inside the validated envelope (U=0.5)", s)
+		}
+		// Find the first diverged point on a fine grid; it must exist below
+		// utilization 1.0.
+		tripped := false
+		for i := 1; i < 100; i++ {
+			u := float64(i) / 100
+			if m.Predict(u * m.SaturationRate()).Diverged {
+				tripped = true
+				if u >= 1.0 {
+					t.Errorf("%s: divergence first tripped at U=%.2f", s, u)
+				}
+				break
+			}
+		}
+		if !tripped {
+			t.Errorf("%s: divergence flag never tripped below saturation", s)
+		}
+		if !m.Predict(0.999 * m.SaturationRate()).Diverged {
+			t.Errorf("%s: not diverged at 0.999x saturation", s)
+		}
+	}
+}
+
+// TestLittlesLaw: the model's own outputs must satisfy L = λW exactly —
+// PacketsInFlight is offered packets/cycle times mean latency, and
+// QueueOccupancy is the per-core arrival rate times the time spent in
+// queue + head-of-line service.
+func TestLittlesLaw(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(s)
+		for _, u := range []float64{0.1, 0.3, 0.5, 0.65} {
+			rate := u * m.SaturationRate()
+			p := m.Predict(rate)
+			lambda := rate * float64(cfg.Nodes*cfg.CoresPerNode)
+			if want := lambda * p.Mean; math.Abs(p.PacketsInFlight-want) > 1e-9*math.Max(1, want) {
+				t.Errorf("%s U=%.2f: PacketsInFlight %.6f != λW %.6f", s, u, p.PacketsInFlight, want)
+			}
+			if p.QueueOccupancy <= 0 {
+				t.Errorf("%s U=%.2f: nonpositive queue occupancy %.6f", s, u, p.QueueOccupancy)
+			}
+			// Occupancy must also be consistent with Little's law on the
+			// queueing subsystem: occupancy / rate = queue wait + service,
+			// which is at least the queue wait phase.
+			if w := p.QueueOccupancy / rate; w < p.Phases[ptrace.PhaseQueue] {
+				t.Errorf("%s U=%.2f: occupancy implies wait %.4f below queue phase %.4f", s, u, w, p.Phases[ptrace.PhaseQueue])
+			}
+		}
+	}
+}
+
+// TestPredictNegativeRate: negative rates clamp to the zero-load point
+// instead of producing nonsense.
+func TestPredictNegativeRate(t *testing.T) {
+	m, err := NewDefault(core.TokenChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(-0.5)
+	if p.Rate != 0 || math.Abs(p.Mean-m.ZeroLoadLatency()) > 1e-9 {
+		t.Errorf("Predict(-0.5) = rate %.2f mean %.2f, want the zero-load point", p.Rate, p.Mean)
+	}
+}
+
+// TestCapacityFor: the inverter must honor its budget, be monotone in
+// the budget, report an impossible budget as rate zero, and cap loose
+// budgets at the validity envelope with the divergence flag set.
+func TestCapacityFor(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zl := m.ZeroLoadLatency()
+
+		// Impossible budget: below zero-load latency nothing is sustainable.
+		if res := m.CapacityFor(zl*0.5, false); res.Rate != 0 {
+			t.Errorf("%s: budget below zero-load latency returned rate %.4f", s, res.Rate)
+		}
+
+		// Binding budget: the answer's own prediction must meet it.
+		res := m.CapacityFor(zl*1.5, false)
+		if !res.BudgetBound {
+			t.Errorf("%s: 1.5x zero-load budget unexpectedly loose", s)
+		}
+		if res.Prediction.Mean > zl*1.5+1e-6 {
+			t.Errorf("%s: answer mean %.4f exceeds budget %.4f", s, res.Prediction.Mean, zl*1.5)
+		}
+		if res.Rate <= 0 {
+			t.Errorf("%s: feasible budget answered with rate 0", s)
+		}
+
+		// Monotone: a looser budget can only raise the sustainable rate.
+		loose := m.CapacityFor(zl*2, false)
+		if loose.Rate < res.Rate-1e-12 {
+			t.Errorf("%s: looser budget lowered capacity: %.5f -> %.5f", s, res.Rate, loose.Rate)
+		}
+
+		// Unbounded budget: capped at the envelope edge, flagged diverged,
+		// and reported as not budget-bound — the planner's cue to simulate.
+		huge := m.CapacityFor(1e9, false)
+		if huge.BudgetBound {
+			t.Errorf("%s: 1e9 budget reported as binding", s)
+		}
+		if !huge.Prediction.Diverged {
+			t.Errorf("%s: envelope-capped answer not flagged diverged", s)
+		}
+
+		// p99 budgets invert against the p99 estimate.
+		p99res := m.CapacityFor(zl*3, true)
+		if p99res.BudgetBound && p99res.Prediction.P99 > zl*3+1e-6 {
+			t.Errorf("%s: p99 answer %.4f exceeds budget %.4f", s, p99res.Prediction.P99, zl*3)
+		}
+	}
+}
+
+// TestUtilizationAndChannelLoad: bookkeeping fields are consistent.
+func TestUtilizationAndChannelLoad(t *testing.T) {
+	for _, s := range core.Schemes() {
+		m, err := NewDefault(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(s)
+		rate := 0.4 * m.SaturationRate()
+		p := m.Predict(rate)
+		if math.Abs(p.Utilization-0.4) > 1e-9 {
+			t.Errorf("%s: utilization %.4f != 0.4", s, p.Utilization)
+		}
+		if want := rate * float64(cfg.CoresPerNode); math.Abs(p.ChannelLoad-want) > 1e-12 {
+			t.Errorf("%s: channel load %.5f != rate x cores %.5f", s, p.ChannelLoad, want)
+		}
+	}
+}
